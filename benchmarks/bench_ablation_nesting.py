@@ -1,0 +1,46 @@
+"""Ablation A4 — closed vs flat nesting.
+
+§I: flat nesting inlines inner transactions into one monolithic
+transaction, so any conflict rolls back everything.  Closed nesting keeps
+partial work.  The measurable consequences at bench scale: flat nesting
+records no nested aborts at all (there are no inner transactions) and
+loses nothing by it only when conflicts are rare.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_cell
+
+
+def _cell(nesting, scheduler, bench_cache):
+    return bench_cache(
+        ("a4", nesting, scheduler),
+        lambda: run_cell("bank", scheduler, 0.1, nesting=nesting),
+    )
+
+
+def test_flat_nesting_has_no_inner_transactions(bench_cache):
+    flat = _cell("flat", "rts", bench_cache)
+    assert flat.commits > 0
+    assert flat.nested_aborts_own == 0
+
+
+def test_closed_nesting_commits_match_flat_semantics(bench_cache):
+    """Both models make progress on the same workload."""
+    closed = _cell("closed", "rts", bench_cache)
+    flat = _cell("flat", "rts", bench_cache)
+    assert closed.commits > 0 and flat.commits > 0
+
+
+@pytest.mark.parametrize("scheduler", ["rts", "tfa"])
+def test_nesting_models_both_progress(scheduler, bench_cache):
+    assert _cell("closed", scheduler, bench_cache).commits > 0
+    assert _cell("flat", scheduler, bench_cache).commits > 0
+
+
+def test_benchmark_nesting_cell(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_cell("bank", "rts", 0.1, nesting="flat"),
+        rounds=1, iterations=1,
+    )
+    assert result.commits > 0

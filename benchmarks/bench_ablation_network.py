@@ -1,0 +1,49 @@
+"""Ablation A3 — link-delay band sensitivity.
+
+The paper fixes static 1-50 ms links; this sweep shows how the delay band
+moves throughput (communication-bound transactions) and that the
+reproduction's conclusions are not an artefact of one band.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_cell
+from repro.net.topology import MS
+
+BANDS = {
+    "paper": (1 * MS, 50 * MS),
+    "fast": (1 * MS, 2 * MS),
+    "slow": (50 * MS, 51 * MS),
+}
+
+
+def _cell(band, scheduler, bench_cache):
+    lo, hi = BANDS[band]
+    return bench_cache(
+        ("a3", band, scheduler),
+        lambda: run_cell("ll", scheduler, 0.1,
+                         min_link_delay=lo, max_link_delay=hi),
+    )
+
+
+def test_faster_links_mean_more_throughput(bench_cache):
+    fast = _cell("fast", "rts", bench_cache)
+    paper = _cell("paper", "rts", bench_cache)
+    slow = _cell("slow", "rts", bench_cache)
+    assert fast.throughput > paper.throughput > slow.throughput
+
+
+@pytest.mark.parametrize("band", list(BANDS))
+def test_rts_abort_economy_holds_across_bands(band, bench_cache):
+    rts = _cell(band, "rts", bench_cache)
+    tfa = _cell(band, "tfa", bench_cache)
+    assert rts.root_aborts <= tfa.root_aborts * 1.25 + 20
+
+
+def test_benchmark_network_cell(benchmark):
+    lo, hi = BANDS["paper"]
+    result = benchmark.pedantic(
+        lambda: run_cell("ll", "rts", 0.1, min_link_delay=lo, max_link_delay=hi),
+        rounds=1, iterations=1,
+    )
+    assert result.commits > 0

@@ -1,0 +1,50 @@
+"""Ablation A1 — CL threshold sweep.
+
+§IV-A: "At a certain point of the CL's threshold, we observe a peak point
+of transactional throughput. Thus ... the CL's threshold corresponding to
+the peak point is determined."  Sweeps fixed thresholds and the adaptive
+controller at bench scale.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_cell
+
+THRESHOLDS = (1, 3, 6, 12)
+
+
+def _cell(threshold, bench_cache):
+    return bench_cache(
+        ("a1", threshold),
+        lambda: run_cell("bank", "rts", 0.1, cl_threshold=threshold),
+    )
+
+
+def test_threshold_one_degenerates_to_tfa(bench_cache):
+    """Threshold 1 never admits an enqueue: RTS collapses onto TFA."""
+    rts1 = _cell(1, bench_cache)
+    tfa = bench_cache(("a1", "tfa"), lambda: run_cell("bank", "tfa", 0.1))
+    assert rts1.throughput == pytest.approx(tfa.throughput, rel=0.15)
+
+
+@pytest.mark.parametrize("threshold", THRESHOLDS)
+def test_every_threshold_makes_progress(threshold, bench_cache):
+    assert _cell(threshold, bench_cache).commits > 0
+
+
+def test_adaptive_tracks_best_fixed_threshold(bench_cache):
+    """The adaptive controller lands within 20% of the best fixed point."""
+    adaptive = bench_cache(
+        ("a1", "adaptive"),
+        lambda: run_cell("bank", "rts", 0.1, cl_threshold=None),
+    )
+    best = max(_cell(t, bench_cache).throughput for t in THRESHOLDS)
+    assert adaptive.throughput >= best * 0.8
+
+
+def test_benchmark_threshold_sweep(benchmark, bench_cache):
+    result = benchmark.pedantic(
+        lambda: run_cell("bank", "rts", 0.1, cl_threshold=6),
+        rounds=1, iterations=1,
+    )
+    assert result.commits > 0

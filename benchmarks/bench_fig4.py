@@ -1,0 +1,49 @@
+"""Figure 4 — throughput at low contention (90% reads), per benchmark.
+
+Bench-scale series over a reduced node axis; asserts the figure's shape
+properties (throughput grows with node count; RTS is competitive with
+the baselines).  Full series: ``python -m repro.analysis.reproduce fig4``.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_cell
+from repro.analysis.scales import BENCHMARKS
+
+NODE_AXIS = (6, 12, 18)
+
+
+def _series(workload, scheduler, bench_cache):
+    return [
+        bench_cache(
+            ("fig4", workload, scheduler, nodes),
+            lambda n=nodes: run_cell(workload, scheduler, 0.9, nodes=n),
+        )
+        for nodes in NODE_AXIS
+    ]
+
+
+@pytest.mark.parametrize("workload", BENCHMARKS)
+def test_throughput_scales_with_nodes(workload, bench_cache):
+    """Figure 4's dominant visual: more nodes, more committed tx/s."""
+    series = _series(workload, "rts", bench_cache)
+    thr = [r.throughput for r in series]
+    assert thr[-1] > thr[0] * 1.3, f"{workload}: no scaling {thr}"
+
+
+@pytest.mark.parametrize("workload", ["bank", "dht"])
+def test_rts_competitive_at_low_contention(workload, bench_cache):
+    """RTS tracks (or beats) TFA at low contention, as in the paper."""
+    rts = _series(workload, "rts", bench_cache)
+    tfa = _series(workload, "tfa", bench_cache)
+    rts_total = sum(r.throughput for r in rts)
+    tfa_total = sum(r.throughput for r in tfa)
+    assert rts_total >= tfa_total * 0.9
+
+
+def test_benchmark_fig4_cell(benchmark):
+    """pytest-benchmark: wall-clock cost of one Figure 4 cell."""
+    result = benchmark.pedantic(
+        lambda: run_cell("ll", "rts", 0.9, nodes=12), rounds=1, iterations=1,
+    )
+    assert result.commits > 0

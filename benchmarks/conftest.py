@@ -1,0 +1,57 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*.py`` file regenerates one artefact of the paper's
+evaluation (a table or a figure) at a scaled-down default.  Two usage
+modes:
+
+* ``pytest benchmarks/ --benchmark-only`` — every benchmark function runs
+  one representative cell through pytest-benchmark (wall-clock cost of
+  the simulation itself) and asserts the reproduction's shape properties
+  on the simulated metrics;
+* ``python -m repro.analysis.reproduce <artefact> [--scale full]`` —
+  regenerates the complete table/figure series (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.core.config import ClusterConfig, SchedulerKind
+from repro.core.experiment import ExperimentResult, run_experiment
+
+#: scaled-down defaults shared by all bench files
+BENCH_NODES = 12
+BENCH_HORIZON = 8.0
+BENCH_WORKERS = 2
+BENCH_SEED = 1
+
+
+def run_cell(
+    workload: str,
+    scheduler: SchedulerKind | str,
+    read_fraction: float,
+    nodes: int = BENCH_NODES,
+    horizon: float = BENCH_HORIZON,
+    seed: int = BENCH_SEED,
+    **config_kwargs,
+) -> ExperimentResult:
+    """One experiment cell at bench scale."""
+    cfg = ClusterConfig(
+        num_nodes=nodes, seed=seed, scheduler=SchedulerKind(scheduler),
+        cl_threshold=config_kwargs.pop("cl_threshold", 4), **config_kwargs,
+    )
+    return run_experiment(
+        workload, cfg, read_fraction=read_fraction,
+        workers_per_node=BENCH_WORKERS, horizon=horizon,
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_cache():
+    """Memoises experiment cells across benchmark functions in a session."""
+    cache = {}
+
+    def get(key, thunk):
+        if key not in cache:
+            cache[key] = thunk()
+        return cache[key]
+
+    return get

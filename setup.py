@@ -1,0 +1,11 @@
+"""Compatibility shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works on minimal toolchains that lack the ``wheel``
+package (PEP 660 editable installs require it; the legacy ``setup.py
+develop`` path does not).
+"""
+
+from setuptools import setup
+
+setup()

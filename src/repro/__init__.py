@@ -1,0 +1,63 @@
+"""repro — reproduction of Kim & Ravindran, "Scheduling Closed-Nested
+Transactions in Distributed Transactional Memory" (IPDPS 2012).
+
+The package implements, from scratch and on top of a deterministic
+discrete-event simulator:
+
+* the Herlihy–Sun dataflow D-STM model (objects migrate to immobile
+  transactions) with a directory-based cache-coherence protocol,
+* the Transactional Forwarding Algorithm (TFA) with asynchronous node
+  clocks, early validation, and a commit-time validation window,
+* closed-nested (and flat-nested) transactions,
+* the paper's contribution — the Reactive Transactional Scheduler (RTS) —
+  alongside the TFA and TFA+Backoff baselines,
+* the six evaluation benchmarks (Bank, Vacation, Linked-List, BST,
+  Red/Black-Tree, DHT), and
+* a harness regenerating every table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import Cluster, SchedulerKind
+
+    cluster = Cluster(num_nodes=8, seed=42, scheduler=SchedulerKind.RTS)
+    accounts = [cluster.alloc(f"acct{i}", 100) for i in range(16)]
+
+    def transfer(tx, src, dst, amount):
+        a = yield from tx.read(src)
+        yield from tx.write(src, a - amount)
+        b = yield from tx.read(dst)
+        yield from tx.write(dst, b + amount)
+
+    result = cluster.run_transaction(transfer, accounts[0], accounts[1], 25,
+                                     node=0)
+"""
+
+from repro._version import __version__
+
+__all__ = [
+    "Cluster",
+    "ClusterConfig",
+    "SchedulerKind",
+    "TransactionAborted",
+    "__version__",
+]
+
+_LAZY = {
+    "Cluster": ("repro.core.api", "Cluster"),
+    "SchedulerKind": ("repro.core.api", "SchedulerKind"),
+    "ClusterConfig": ("repro.core.config", "ClusterConfig"),
+    "TransactionAborted": ("repro.dstm.errors", "TransactionAborted"),
+}
+
+
+def __getattr__(name: str):
+    """Lazy re-exports: keep ``import repro`` cheap and cycle-free."""
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), attr)
+    globals()[name] = value
+    return value

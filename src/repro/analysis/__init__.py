@@ -1,0 +1,33 @@
+"""Reproduction harness for the paper's evaluation (§IV).
+
+Each module regenerates one artefact:
+
+* :mod:`repro.analysis.table1` — Table I (abort rate of nested transactions),
+* :mod:`repro.analysis.figures` — Figures 4 and 5 (throughput vs node
+  count at low/high contention, six benchmarks, three schedulers),
+* :mod:`repro.analysis.speedup` — Figure 6 (RTS speedup summary),
+* :mod:`repro.analysis.ablations` — design-choice sweeps beyond the paper
+  (CL threshold, backoff policy, network delay band, nesting model,
+  conflict scope),
+* :mod:`repro.analysis.reproduce` — the CLI driving all of the above
+  (``python -m repro.analysis.reproduce --help``).
+
+Two scales are built in: ``quick`` (minutes, laptop) and ``full``
+(paper-scale: 10-80 nodes).  Neither attempts to match the paper's
+absolute transactions/second — the substrate is a simulator — but the
+orderings and rough factors are the reproduction targets, recorded in
+EXPERIMENTS.md.
+"""
+
+from repro.analysis.render import render_table
+from repro.analysis.table1 import PAPER_TABLE1, run_table1
+from repro.analysis.figures import run_figure
+from repro.analysis.speedup import run_speedup_summary
+
+__all__ = [
+    "PAPER_TABLE1",
+    "render_table",
+    "run_figure",
+    "run_speedup_summary",
+    "run_table1",
+]

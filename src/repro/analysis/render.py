@@ -1,0 +1,105 @@
+"""Plain-text table/series rendering for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["render_table", "render_series"]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(
+    rows: List[Dict[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render dict-rows as an aligned ASCII table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no data)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    widths = {
+        c: max(len(str(c)), *(len(_fmt(r.get(c, ""))) for r in rows))
+        for c in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(c).ljust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[c] for c in columns))
+    for r in rows:
+        lines.append(
+            " | ".join(_fmt(r.get(c, "")).ljust(widths[c]) for c in columns)
+        )
+    return "\n".join(lines)
+
+
+def render_ascii_chart(
+    title: str,
+    xs: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 56,
+    height: int = 12,
+) -> str:
+    """A minimal ASCII scatter/line chart: one letter per series.
+
+    Good enough to eyeball the paper's figure shapes straight from the
+    terminal; the exact numbers live in the accompanying table.
+    """
+    points = [
+        (x, y, name)
+        for name, ys in series.items()
+        for x, y in zip(xs, ys)
+        if y is not None
+    ]
+    if not points:
+        return f"{title}\n(no data)"
+    xmin, xmax = min(p[0] for p in points), max(p[0] for p in points)
+    ymin, ymax = 0.0, max(p[1] for p in points)
+    if xmax == xmin:
+        xmax = xmin + 1
+    if ymax == ymin:
+        ymax = ymin + 1
+    grid = [[" "] * width for _ in range(height)]
+    markers = {name: name[0].upper() for name in series}
+    # Distinguish colliding initials deterministically.
+    seen: Dict[str, int] = {}
+    for name in series:
+        m = markers[name]
+        seen[m] = seen.get(m, 0) + 1
+        if seen[m] > 1:
+            markers[name] = name[min(len(name) - 1, seen[m] - 1)].upper()
+    for x, y, name in points:
+        col = int((x - xmin) / (xmax - xmin) * (width - 1))
+        row = int((y - ymin) / (ymax - ymin) * (height - 1))
+        cell = grid[height - 1 - row][col]
+        mark = markers[name]
+        # Overlapping series collapse to '*' rather than hiding each other.
+        grid[height - 1 - row][col] = mark if cell in (" ", mark) else "*"
+    legend = "  ".join(f"{markers[n]}={n}" for n in series) + "  *=overlap"
+    lines = [title, f"y: 0..{ymax:.1f}   x: {xmin:g}..{xmax:g}   {legend}"]
+    lines += ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width)
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str,
+    x_label: str,
+    xs: Sequence[Any],
+    series: Dict[str, Sequence[float]],
+) -> str:
+    """Render named y-series over shared x values (one row per x)."""
+    rows = []
+    for i, x in enumerate(xs):
+        row = {x_label: x}
+        for name, ys in series.items():
+            row[name] = ys[i] if i < len(ys) else ""
+        rows.append(row)
+    return render_table(rows, [x_label, *series.keys()], title=title)

@@ -1,0 +1,19 @@
+"""Public API: cluster facade, atomic transaction runners, metrics,
+workload executor, and the experiment harness."""
+
+from repro.core.api import Cluster, SchedulerKind, TransactionHandle
+from repro.core.config import ClusterConfig
+from repro.core.executor import WorkloadExecutor
+from repro.core.metrics import MetricsCollector
+from repro.core.experiment import ExperimentResult, run_experiment
+
+__all__ = [
+    "Cluster",
+    "ClusterConfig",
+    "ExperimentResult",
+    "MetricsCollector",
+    "SchedulerKind",
+    "TransactionHandle",
+    "WorkloadExecutor",
+    "run_experiment",
+]

@@ -1,0 +1,289 @@
+"""The transaction-facing API: handles and retry runners.
+
+Workload code receives a :class:`TransactionHandle` and performs::
+
+    def transfer(tx, src, dst, amount):
+        balance = yield from tx.read(src)
+        yield from tx.write(src, balance - amount)
+        ...
+        result = yield from tx.nested(audit_leg, dst)   # closed-nested child
+
+Everything that can block on simulated communication is a generator, so
+bodies compose with ``yield from``.  Retry policy:
+
+* the **root runner** (:func:`run_root`) catches aborts whose victim is
+  the root, rolls back, consults the scheduler for a stall
+  (:meth:`~repro.scheduler.base.SchedulerPolicy.retry_backoff`) and
+  re-runs the body — with a *stable task id*, so the protocol recognises
+  the retry as the same logical transaction (queue duplicate removal);
+* the **nested runner** (inside :meth:`TransactionHandle.nested`) catches
+  aborts whose victim is its own child and retries just that child —
+  the closed-nesting payoff; aborts of an ancestor propagate up.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Generator, Optional, Tuple
+
+from repro.core.cluster import Cluster
+from repro.core.config import SchedulerKind
+from repro.dstm.errors import AbortReason, TransactionAborted, TransactionError
+from repro.dstm.tfa import TFAEngine
+from repro.dstm.transaction import NestingModel, Transaction, TxStatus
+
+__all__ = [
+    "Cluster",
+    "SchedulerKind",
+    "TransactionHandle",
+    "run_compensations",
+    "run_root",
+]
+
+#: task-id source for runs without a cluster (open-nested compensations)
+_anon_task_ids = itertools.count(1)
+
+
+class TransactionHandle:
+    """What a transaction body sees.  Wraps (engine, transaction-level)."""
+
+    __slots__ = ("_engine", "_tx")
+
+    def __init__(self, engine: TFAEngine, tx: Transaction) -> None:
+        self._engine = engine
+        self._tx = tx
+
+    # -- raw accessors ----------------------------------------------------------
+
+    @property
+    def transaction(self) -> Transaction:
+        return self._tx
+
+    @property
+    def txid(self) -> str:
+        return self._tx.txid
+
+    @property
+    def depth(self) -> int:
+        return self._tx.depth
+
+    # -- operations ---------------------------------------------------------------
+
+    def read(self, oid: str) -> Generator[Any, Any, Any]:
+        """Transactional read of ``oid`` (``yield from``)."""
+        return self._engine.read(self._tx, oid)
+
+    def write(self, oid: str, value: Any) -> Generator[Any, Any, None]:
+        """Transactional write of ``oid`` (``yield from``)."""
+        return self._engine.write(self._tx, oid, value)
+
+    def compute(self, duration: float) -> Generator[Any, Any, None]:
+        """Spend local CPU time inside the transaction."""
+        return self._engine.compute(self._tx, duration)
+
+    def abort(self, detail: str = "") -> None:
+        """Programmatic abort of the *enclosing root* transaction."""
+        raise TransactionAborted(
+            self._tx.root, AbortReason.USER_ABORT, detail=detail
+        )
+
+    def retry_nested(self, detail: str = "") -> None:
+        """Programmatic abort-and-retry of the *current nested* level."""
+        raise TransactionAborted(self._tx, AbortReason.USER_ABORT, detail=detail)
+
+    # -- nesting --------------------------------------------------------------------
+
+    def nested(
+        self,
+        body: Callable[..., Generator],
+        *args: Any,
+        profile: Optional[str] = None,
+        max_retries: Optional[int] = None,
+    ) -> Generator[Any, Any, Any]:
+        """Run ``body`` as a closed-nested child transaction.
+
+        The child is retried on its own aborts (``max_retries`` bounds
+        that, None = unbounded); ancestor aborts propagate.  Returns the
+        body's return value once the child merges into this level.
+        """
+        engine = self._engine
+        parent = self._tx
+        if engine.nesting is NestingModel.FLAT:
+            # Flat nesting inlines the child into the enclosing
+            # transaction: no separate transaction, no partial abort —
+            # the body simply runs against this level.
+            result = yield from body(self, *args)
+            return result
+        child_profile = profile or f"{parent.profile}.nested"
+        retries = 0
+        while True:
+            if parent.status is not TxStatus.LIVE:
+                raise TransactionError(
+                    f"{parent.txid}: nested() on a {parent.status.value} parent"
+                )
+            child = engine.begin(profile=child_profile, parent=parent)
+            handle = TransactionHandle(engine, child)
+            try:
+                result = yield from body(handle, *args)
+                yield from engine.commit_nested(child)
+                return result
+            except TransactionAborted as abort:
+                if abort.victim is not child:
+                    # An ancestor (or the root) is the victim: let the
+                    # matching frame handle it.  The child dies with it;
+                    # accounting happens in the ancestor's abort.
+                    raise
+                engine.abort_nested(child, abort.reason)
+                # Detach the dead attempt so unbounded retries cannot grow
+                # the parent's children list (and with it, memory).
+                parent.children.remove(child)
+                retries += 1
+                stall = engine.proxy.scheduler.retry_backoff(
+                    child.root, abort.reason, retries
+                )
+                # Restart is never free: at minimum the begin/rollback
+                # bookkeeping costs one local operation, which also keeps
+                # simulated time advancing on zero-backoff retry storms.
+                yield engine.env.timeout(max(stall, engine.op_local_time))
+                if max_retries is not None and retries > max_retries:
+                    # Escalate: give up on the child, abort the root.
+                    raise TransactionAborted(
+                        parent.root, abort.reason,
+                        detail=f"nested {child.txid} exceeded {max_retries} retries",
+                        oid=abort.oid,
+                    ) from abort
+
+
+    def open_nested(
+        self,
+        body: Callable[..., Generator],
+        *args: Any,
+        compensation: Optional[Callable[..., Generator]] = None,
+        compensation_args: Tuple[Any, ...] = (),
+        profile: Optional[str] = None,
+        max_attempts: Optional[int] = 16,
+    ) -> Generator[Any, Any, Any]:
+        """Run ``body`` as an *open-nested* transaction (§I/§II's third
+        nesting model, Moss [19]).
+
+        The child commits **globally and immediately** — a full top-level
+        commit protocol of its own, independent of the enclosing
+        transaction — so its effects become visible to everyone at once.
+        If the enclosing root transaction later aborts, the child is NOT
+        rolled back; instead the registered ``compensation`` runs (as its
+        own transaction, in reverse registration order) — the standard
+        open-nesting undo model.  Maintaining abstract serializability
+        (the compensation really undoes the child at the application
+        level) is the caller's responsibility, which is exactly the
+        "different semantics for concurrency control" the paper notes.
+        """
+        engine = self._engine
+        root = self._tx.root
+        child_profile = profile or f"{root.profile}.open"
+        # The open child is an independent top-level transaction on the
+        # same node; it does not share the enclosing task identity (it
+        # must never be treated as "the same requester" by the queues).
+        try:
+            result = yield from run_root(
+                None, engine, body, args,
+                profile=child_profile,
+                max_attempts=max_attempts,
+                task_id=f"{root.task_id}-open{len(root.compensations)}",
+            )
+        except TransactionAborted as abort:
+            # The child gave up for good (programmatic abort or exhausted
+            # attempts): the enclosing transaction cannot proceed either.
+            # Re-raising against *our* root lets the enclosing runner roll
+            # back and run any previously registered compensations.
+            raise TransactionAborted(
+                root, abort.reason, oid=abort.oid,
+                detail=f"open-nested child failed: {abort.detail or abort.reason.value}",
+            ) from abort
+        if compensation is not None:
+            root.compensations.append(
+                (compensation, compensation_args, f"{child_profile}.comp")
+            )
+        return result
+
+
+def run_compensations(
+    engine: TFAEngine, root: Transaction
+) -> Generator[Any, Any, int]:
+    """Run (and clear) a dead root's open-nesting compensations.
+
+    Executed in reverse registration order, each as its own top-level
+    transaction, retried until committed.  Returns how many ran.
+    """
+    count = 0
+    while root.compensations:
+        body, args, profile = root.compensations.pop()
+        yield from run_root(
+            None, engine, body, args,
+            profile=profile, max_attempts=None,
+        )
+        count += 1
+    return count
+
+
+def run_root(
+    cluster: Optional[Cluster],
+    engine: TFAEngine,
+    body: Callable[..., Generator],
+    args: Tuple[Any, ...],
+    profile: str = "default",
+    max_attempts: Optional[int] = None,
+    task_id: Optional[str] = None,
+    info: Optional[dict] = None,
+) -> Generator[Any, Any, Any]:
+    """Atomic-block retry loop for a root transaction (generator).
+
+    Returns the body's return value after a successful commit.  Raises
+    :class:`TransactionAborted` only when ``max_attempts`` is exhausted.
+    When ``info`` is given, commit metadata (txid, attempts,
+    serialized_at) is written into it — the serializability oracle keys
+    its replay order on ``serialized_at``.
+    """
+    env = engine.env
+    node_id = engine.node.node_id
+    if task_id is None:
+        if cluster is not None:
+            task_id = cluster.new_task_id(node_id)
+        else:
+            task_id = f"task-n{node_id}-x{next(_anon_task_ids)}"
+    attempt = 0
+    while True:
+        root = engine.begin(profile=profile, task_id=task_id)
+        handle = TransactionHandle(engine, root)
+        try:
+            result = yield from body(handle, *args)
+            yield from engine.commit_root(root)
+            if info is not None:
+                info["txid"] = root.txid
+                info["attempts"] = attempt + 1
+                info["serialized_at"] = root.serialized_at
+            return result
+        except TransactionAborted as abort:
+            if abort.victim.root is not root:
+                raise TransactionError(
+                    f"abort of {abort.victim.txid} escaped to foreign root {root.txid}"
+                ) from abort
+            engine.abort_root(root, abort.reason, oid=abort.oid)
+            if root.compensations:
+                # Open-nested children already committed globally: undo
+                # them (reverse order) before this attempt is retried or
+                # the abort propagates.
+                yield from run_compensations(engine, root)
+            if abort.reason is AbortReason.USER_ABORT:
+                # Programmatic cancellation rolls back and propagates —
+                # retrying what the application deliberately gave up on
+                # would loop forever.
+                raise
+            attempt += 1
+            if max_attempts is not None and attempt >= max_attempts:
+                raise
+            stall = engine.proxy.scheduler.retry_backoff(root, abort.reason, attempt)
+            # A restart is never free: the framework pays its rollback
+            # overhead (config.abort_overhead) before the body re-runs,
+            # which also keeps zero-backoff retry storms off the
+            # same-timestamp fast path.
+            yield env.timeout(max(stall, engine.abort_overhead, engine.op_local_time))

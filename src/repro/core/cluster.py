@@ -1,0 +1,235 @@
+"""The cluster facade: builds and wires the whole simulated deployment.
+
+``Cluster(config)`` (or the keyword shortcuts) constructs the environment,
+topology, network, per-node clocks, directory shards, schedulers, TM
+proxies and TFA engines, and exposes the user-facing API:
+
+* :meth:`Cluster.alloc` — create a shared object (bootstrap);
+* :meth:`Cluster.atomic` — run a transaction body as a simulation process
+  from workload code;
+* :meth:`Cluster.run_transaction` — convenience: run one transaction to
+  completion and return its result (drives the event loop);
+* :meth:`Cluster.run` — advance the simulation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from repro.core.config import ClusterConfig, SchedulerKind
+from repro.core.metrics import MetricsCollector
+from repro.dstm.directory import DirectoryShard
+from repro.dstm.objects import home_node
+from repro.dstm.proxy import TMProxy
+from repro.dstm.tfa import TFAEngine
+from repro.net.clocks import NodeClock
+from repro.net.network import Network
+from repro.net.node import Node
+from repro.net.topology import Topology
+from repro.scheduler.adaptive import AdaptiveThreshold
+from repro.scheduler.backoff import BackoffScheduler
+from repro.scheduler.base import SchedulerPolicy
+from repro.scheduler.rts import RtsScheduler
+from repro.scheduler.tfa_baseline import TfaScheduler
+from repro.sim import Environment, RngRegistry, Tracer
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """A fully wired simulated D-STM deployment."""
+
+    def __init__(self, config: Optional[ClusterConfig] = None, **kwargs: Any) -> None:
+        if config is None:
+            config = ClusterConfig(**kwargs)
+        elif kwargs:
+            config = config.replace(**kwargs)
+        self.config = config
+        self.env = Environment()
+        self.rngs = RngRegistry(seed=config.seed)
+        self.tracer = Tracer(
+            enabled=config.trace,
+            categories=set(config.trace_categories) if config.trace_categories else None,
+        )
+        self.topology = Topology(
+            config.num_nodes,
+            self.rngs.stream("topology"),
+            kind=config.topology,
+            min_delay=config.min_link_delay,
+            max_delay=config.max_link_delay,
+        )
+        self.network = Network(
+            self.env, self.topology, tracer=self.tracer,
+            local_delay=config.local_loopback_delay,
+        )
+        self.metrics = MetricsCollector()
+
+        clock_rng = self.rngs.stream("clocks")
+        self.nodes: List[Node] = []
+        self.directories: List[DirectoryShard] = []
+        self.proxies: List[TMProxy] = []
+        self.engines: List[TFAEngine] = []
+        for node_id in range(config.num_nodes):
+            clock = NodeClock(
+                node_id,
+                rng=clock_rng,
+                max_skew=config.max_clock_skew,
+                max_drift=config.max_clock_drift,
+            )
+            node = Node(self.env, self.network, node_id, clock=clock,
+                        msg_process_time=config.msg_process_time)
+            directory = DirectoryShard(node)
+            scheduler = self._make_scheduler(node_id)
+            proxy = TMProxy(
+                node,
+                directory,
+                scheduler,
+                tracer=self.tracer,
+                fallback_exec_estimate=config.fallback_exec_estimate,
+                winner_policy=config.winner_policy,
+                conflict_scope=config.conflict_scope,
+            )
+            engine = TFAEngine(
+                proxy,
+                op_local_time=config.op_local_time,
+                nesting=config.nesting,
+                nested_commit_validation=config.nested_commit_validation,
+                abort_overhead=config.abort_overhead,
+            )
+            engine.on_commit_hook = self.metrics.on_commit
+            engine.on_abort_hook = self.metrics.on_abort
+            self.nodes.append(node)
+            self.directories.append(directory)
+            self.proxies.append(proxy)
+            self.engines.append(engine)
+
+        self._task_ids = itertools.count(1)
+        self._alloc_count = 0
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    def _make_scheduler(self, node_id: int) -> SchedulerPolicy:
+        cfg = self.config
+        kind = cfg.scheduler
+        if kind is SchedulerKind.RTS:
+            threshold: Any
+            if cfg.cl_threshold is None:
+                threshold = AdaptiveThreshold()
+            else:
+                threshold = int(cfg.cl_threshold)
+            return RtsScheduler(
+                cl_threshold=threshold,
+                contention_window=cfg.contention_window,
+                max_backoff=cfg.max_enqueue_backoff,
+                admission=cfg.rts_admission,
+            )
+        if kind is SchedulerKind.TFA:
+            return TfaScheduler()
+        if kind is SchedulerKind.TFA_BACKOFF:
+            return BackoffScheduler(
+                base=cfg.backoff_base,
+                cap=cfg.backoff_cap,
+                rng=self.rngs.stream(f"backoff[{node_id}]"),
+            )
+        raise AssertionError(f"unhandled scheduler kind {kind}")
+
+    # ------------------------------------------------------------------
+    # Object allocation (bootstrap)
+    # ------------------------------------------------------------------
+
+    def alloc(self, oid: str, value: Any, node: Optional[int] = None) -> str:
+        """Create shared object ``oid`` with ``value`` at ``node``.
+
+        When ``node`` is omitted, objects are spread round-robin.  The
+        home directory entry is installed directly (bootstrap happens
+        before the simulation starts, so no messages are exchanged).
+        """
+        if node is None:
+            node = self._alloc_count % self.config.num_nodes
+        self._alloc_count += 1
+        self.proxies[node].install_object(oid, value)
+        home = home_node(oid, self.config.num_nodes)
+        self.directories[home].register(oid, owner=node, version=0)
+        return oid
+
+    # ------------------------------------------------------------------
+    # Transaction execution
+    # ------------------------------------------------------------------
+
+    def new_task_id(self, node: int) -> str:
+        return f"task-n{node}-{next(self._task_ids)}"
+
+    def atomic(
+        self,
+        body: Callable[..., Generator],
+        *args: Any,
+        node: int,
+        profile: str = "default",
+        max_attempts: Optional[int] = None,
+    ) -> Generator[Any, Any, Any]:
+        """The atomic-block runner (generator; compose with ``yield from``
+        inside simulation processes).  Retries the body per the node's
+        scheduler policy until it commits."""
+        from repro.core.api import run_root  # local import: avoids cycle
+
+        return run_root(
+            self, self.engines[node], body, args,
+            profile=profile, max_attempts=max_attempts,
+        )
+
+    def spawn(self, generator: Generator, name: Optional[str] = None):
+        """Run a generator as a simulation process."""
+        return self.env.process(generator, name=name)
+
+    def run_transaction(
+        self,
+        body: Callable[..., Generator],
+        *args: Any,
+        node: int,
+        profile: str = "default",
+        max_attempts: Optional[int] = None,
+    ) -> Any:
+        """Convenience: run a single transaction to completion."""
+        proc = self.spawn(
+            self.atomic(body, *args, node=node, profile=profile,
+                        max_attempts=max_attempts),
+            name=f"tx@{node}",
+        )
+        return self.env.run(until=proc)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Advance the simulation (to ``until`` or exhaustion)."""
+        self.env.run(until=until)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return self.config.num_nodes
+
+    def owner_of(self, oid: str) -> Optional[int]:
+        """Current registered owner (directory view)."""
+        home = home_node(oid, self.config.num_nodes)
+        return self.directories[home].owner_of(oid)
+
+    def committed_value(self, oid: str) -> Any:
+        """The committed value of ``oid`` wherever it currently lives."""
+        for proxy in self.proxies:
+            obj = proxy.store.get(oid)
+            if obj is not None:
+                return obj.value
+        raise KeyError(f"object {oid} not found on any node")
+
+    def scheduler_of(self, node: int) -> SchedulerPolicy:
+        return self.proxies[node].scheduler
+
+    def __repr__(self) -> str:
+        return (
+            f"<Cluster nodes={self.config.num_nodes} "
+            f"scheduler={self.config.scheduler.value} now={self.env.now:.3f}>"
+        )

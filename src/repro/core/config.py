@@ -1,0 +1,116 @@
+"""Cluster configuration.
+
+One dataclass holds every knob of the simulated system; experiment sweeps
+are expressed as ``dataclasses.replace`` over a base configuration, which
+keeps parameter provenance obvious in the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.dstm.contention import WinnerPolicy
+from repro.dstm.transaction import NestingModel
+from repro.net.topology import MS, TopologyKind
+
+__all__ = ["ClusterConfig", "SchedulerKind"]
+
+
+class SchedulerKind(str, enum.Enum):
+    """Which transactional scheduler the cluster runs."""
+
+    RTS = "rts"
+    TFA = "tfa"
+    TFA_BACKOFF = "tfa-backoff"
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Full parameterisation of a simulated D-STM deployment."""
+
+    # -- deployment ---------------------------------------------------------
+    num_nodes: int = 8
+    seed: int = 0
+    topology: TopologyKind = TopologyKind.UNIFORM
+    #: static per-link delay band (paper §IV-A: 1-50 ms)
+    min_link_delay: float = 1.0 * MS
+    max_link_delay: float = 50.0 * MS
+
+    # -- scheduling ----------------------------------------------------------
+    scheduler: SchedulerKind = SchedulerKind.RTS
+    #: RTS contention-level threshold; None selects the adaptive controller
+    cl_threshold: Optional[int] = None
+    #: RTS contention-tracking window (seconds, local clock)
+    contention_window: float = 1.0
+    #: RTS cap on assigned backoffs
+    max_enqueue_backoff: float = 2.0
+    #: RTS execution-time admission rule: "paper" (Algorithm 3 literal,
+    #: maximal abort economy) or "economic" (also charges the validator's
+    #: remaining time; fail-fast for early-stage transactions)
+    rts_admission: str = "paper"
+    #: TFA+Backoff base / cap
+    backoff_base: float = 5.0 * MS
+    backoff_cap: float = 0.25
+
+    # -- transaction engine -----------------------------------------------------
+    nesting: NestingModel = NestingModel.CLOSED
+    winner_policy: WinnerPolicy = WinnerPolicy.HOLDER_WINS
+    #: who loses a busy-object conflict: "root" (the paper's semantics,
+    #: §II: "transactions that request an object being validated must
+    #: abort" — the losing *parent* is what RTS schedules), "level" (the
+    #: requesting nested level only) or "mixed" (copy fetches abort the
+    #: level, commit-time acquisitions abort the root) — ablations
+    conflict_scope: str = "root"
+    #: closed-nested commits validate the inner read set (Turcu &
+    #: Ravindran's closed-nesting model — the source of the paper's
+    #: "own-cause" nested aborts); disable for the ablation
+    nested_commit_validation: bool = True
+    #: local CPU time consumed per transactional operation
+    op_local_time: float = 5e-5
+    #: loopback delivery delay for node-local protocol messages (must be
+    #: positive: a zero-cost local conflict/retry cycle would let a
+    #: spinning transaction starve the event loop without advancing time)
+    local_loopback_delay: float = 2e-5
+    #: per-message CPU service time of each node's proxy stack (serial
+    #: server).  Positive values make hot nodes congestible, so retry
+    #: storms cost real capacity — "additional requests incur more
+    #: contention" (§IV-C).  0 disables queueing.
+    msg_process_time: float = 5e-4
+    #: execution-time estimate used before the stats table has history
+    fallback_exec_estimate: float = 0.05
+    #: local time a root transaction pays per abort before restarting,
+    #: modelling the framework's rollback cost (HyFlow-style Java D-STM:
+    #: context teardown, object-graph re-instantiation, serialisation
+    #: buffers).  A pure protocol simulator would otherwise charge aborts
+    #: only their re-communication, understating what retry storms cost
+    #: the real system; ablation A7 sweeps this.
+    abort_overhead: float = 0.01
+    #: clock skew/drift bounds for the asynchronous node clocks
+    max_clock_skew: float = 0.05
+    max_clock_drift: float = 1e-5
+
+    # -- tracing -------------------------------------------------------------------
+    trace: bool = False
+    trace_categories: Optional[tuple[str, ...]] = None
+
+    def replace(self, **changes) -> "ClusterConfig":
+        """A modified copy (sugar over :func:`dataclasses.replace`)."""
+        return dataclasses.replace(self, **changes)
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {self.num_nodes}")
+        if not 0 < self.min_link_delay <= self.max_link_delay:
+            raise ValueError("need 0 < min_link_delay <= max_link_delay")
+        if self.op_local_time < 0:
+            raise ValueError("op_local_time must be >= 0")
+        if self.cl_threshold is not None and self.cl_threshold < 1:
+            raise ValueError("cl_threshold must be >= 1 (or None for adaptive)")
+        # Coerce enum-ish fields so strings work ergonomically.
+        object.__setattr__(self, "scheduler", SchedulerKind(self.scheduler))
+        object.__setattr__(self, "topology", TopologyKind(self.topology))
+        object.__setattr__(self, "nesting", NestingModel(self.nesting))
+        object.__setattr__(self, "winner_policy", WinnerPolicy(self.winner_policy))

@@ -1,0 +1,107 @@
+"""The experiment harness: one call = one cell of a paper table/figure.
+
+:func:`run_experiment` builds a cluster from a :class:`ClusterConfig`,
+instantiates a workload by name, executes it, and returns an
+:class:`ExperimentResult` with everything the analysis layer needs —
+throughput, abort accounting, and the Table-I nested-abort rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.core.cluster import Cluster
+from repro.core.config import ClusterConfig, SchedulerKind
+from repro.core.executor import WorkloadExecutor
+
+__all__ = ["ExperimentResult", "run_experiment"]
+
+
+@dataclass
+class ExperimentResult:
+    """Measured outcome of one experiment cell."""
+
+    workload: str
+    scheduler: str
+    num_nodes: int
+    read_fraction: float
+    seed: int
+    horizon: Optional[float]
+    commits: int
+    root_aborts: int
+    throughput: float
+    abort_ratio: float
+    nested_abort_rate: float
+    nested_aborts_own: int
+    nested_aborts_parent: int
+    mean_commit_latency: float
+    messages_sent: int
+    sim_events: int
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def row(self) -> Dict[str, Any]:
+        """Flat dict for table rendering."""
+        out = {
+            "workload": self.workload,
+            "scheduler": self.scheduler,
+            "nodes": self.num_nodes,
+            "read%": int(round(self.read_fraction * 100)),
+            "commits": self.commits,
+            "aborts": self.root_aborts,
+            "throughput": round(self.throughput, 2),
+            "abort_ratio": round(self.abort_ratio, 4),
+            "nested_abort_rate": round(self.nested_abort_rate, 4),
+        }
+        out.update(self.extra)
+        return out
+
+
+def run_experiment(
+    workload_name: str,
+    config: ClusterConfig,
+    read_fraction: float = 0.9,
+    workers_per_node: int = 2,
+    horizon: Optional[float] = 20.0,
+    stop_after_commits: Optional[int] = None,
+    workload_kwargs: Optional[Dict[str, Any]] = None,
+    executor_kwargs: Optional[Dict[str, Any]] = None,
+) -> ExperimentResult:
+    """Run one (workload, config) cell and collect the metrics."""
+    from repro.workloads.registry import make_workload
+
+    workload = make_workload(
+        workload_name, read_fraction=read_fraction, **(workload_kwargs or {})
+    )
+    cluster = Cluster(config)
+    executor = WorkloadExecutor(
+        cluster,
+        workload,
+        workers_per_node=workers_per_node,
+        horizon=horizon,
+        stop_after_commits=stop_after_commits,
+        **(executor_kwargs or {}),
+    )
+    executor.setup()
+    executor.run()
+
+    m = cluster.metrics
+    return ExperimentResult(
+        workload=workload.name,
+        scheduler=config.scheduler.value,
+        num_nodes=config.num_nodes,
+        read_fraction=read_fraction,
+        seed=config.seed,
+        horizon=horizon,
+        commits=m.commits.value,
+        root_aborts=m.root_aborts.value,
+        throughput=executor.throughput(),
+        abort_ratio=m.abort_ratio(),
+        nested_abort_rate=m.nested_abort_rate(),
+        nested_aborts_own=m.nested_aborts_own.value,
+        nested_aborts_parent=m.nested_aborts_parent.value,
+        mean_commit_latency=m.commit_latency.mean,
+        messages_sent=cluster.network.messages_sent.value,
+        sim_events=cluster.env.events_processed,
+        extra={"abandoned": executor.abandoned},
+    )

@@ -1,0 +1,60 @@
+"""Who-wins contention policies.
+
+The paper's system resolves conflicts in favour of the transaction already
+holding/validating the object (the loser is then scheduled by RTS or the
+baselines) — :data:`WinnerPolicy.HOLDER_WINS`.  For the contention-manager
+ablation we also provide :data:`WinnerPolicy.GREEDY_TIMESTAMP` (older
+transaction wins, as in Greedy/Timestamp contention managers): when a
+*older* requester meets a *younger* live holder, the holder is doomed —
+it aborts at its next transactional operation — so the object frees up
+quickly for the requester, which is still parked through the normal
+scheduler path in the meantime.
+
+Dooming is lazy (polling), the standard technique in STMs without
+asynchronous kill signals: the TFA engine checks the doom registry on
+every read/write/commit boundary.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional
+
+from repro.dstm.errors import AbortReason
+
+__all__ = ["DoomRegistry", "WinnerPolicy"]
+
+
+class WinnerPolicy(str, enum.Enum):
+    #: the paper's policy: holder/validator wins, requester is scheduled.
+    HOLDER_WINS = "holder-wins"
+    #: Greedy-style ablation: the older transaction wins; younger live
+    #: holders are doomed.
+    GREEDY_TIMESTAMP = "greedy-timestamp"
+
+
+class DoomRegistry:
+    """Per-node set of root transactions condemned to abort lazily."""
+
+    def __init__(self) -> None:
+        self._doomed: Dict[str, AbortReason] = {}
+        #: total dooms issued (diagnostics)
+        self.total = 0
+
+    def doom(self, task_id: str, reason: AbortReason = AbortReason.DOOMED_BY_REQUESTER) -> None:
+        if task_id not in self._doomed:
+            self.total += 1
+        self._doomed[task_id] = reason
+
+    def check(self, task_id: str) -> Optional[AbortReason]:
+        """Reason if ``task_id`` is doomed, else None (does not clear)."""
+        return self._doomed.get(task_id)
+
+    def clear(self, task_id: str) -> None:
+        self._doomed.pop(task_id, None)
+
+    def __contains__(self, task_id: str) -> bool:
+        return task_id in self._doomed
+
+    def __len__(self) -> int:
+        return len(self._doomed)

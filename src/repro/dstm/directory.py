@@ -1,0 +1,102 @@
+"""Directory shards: the cache-coherence protocol's location service.
+
+Every object has a *home* node (``home_node(oid, N)``).  The home's
+directory shard stores the authoritative ``(owner, registered_version)``
+pair.  This satisfies both CC-protocol properties the paper requires
+(§II): a request reaches a node holding a valid copy in finite time (one
+lookup plus at most a short forwarding chain while a migration is in
+flight), and at any time there is exactly one writable copy (ownership
+changes are serialised through RETRIEVE grants and hand-offs; the
+directory merely tracks them).
+
+The shard also answers version queries (``READ_VALIDATE``): TFA's read-set
+validation compares the version a transaction read against the home's
+registered committed version.  Commit-time *global registration of object
+ownership* (the paper's phrase for why validation takes long) is the
+``DIR_UPDATE`` round trip updating this registry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.net.message import Message, MessageType
+from repro.net.node import Node
+
+__all__ = ["DirectoryShard"]
+
+
+class DirectoryShard:
+    """The directory state hosted at one node."""
+
+    def __init__(self, node: Node) -> None:
+        self.node = node
+        #: oid -> (owner node id, registered committed version)
+        self._entries: Dict[str, Tuple[int, int]] = {}
+        node.on(MessageType.DIR_LOOKUP, self._on_lookup)
+        node.on(MessageType.DIR_UPDATE, self._on_update)
+        node.on(MessageType.READ_VALIDATE, self._on_validate)
+
+    # -- local (home==here) API ----------------------------------------------------
+
+    def register(self, oid: str, owner: int, version: Optional[int] = None) -> None:
+        """Create or update an entry.  ``version=None`` keeps the old one."""
+        if version is None:
+            _, version = self._entries.get(oid, (owner, 0))
+        self._entries[oid] = (owner, version)
+
+    def lookup(self, oid: str) -> Optional[Tuple[int, int]]:
+        return self._entries.get(oid)
+
+    def registered_version(self, oid: str) -> Optional[int]:
+        entry = self._entries.get(oid)
+        return entry[1] if entry is not None else None
+
+    def owner_of(self, oid: str) -> Optional[int]:
+        entry = self._entries.get(oid)
+        return entry[0] if entry is not None else None
+
+    def __contains__(self, oid: str) -> bool:
+        return oid in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- message handlers ---------------------------------------------------------------
+
+    def _on_lookup(self, msg: Message) -> None:
+        oid = msg.payload["oid"]
+        entry = self._entries.get(oid)
+        self.node.reply(
+            msg,
+            MessageType.DIR_LOOKUP_REPLY,
+            {
+                "oid": oid,
+                "known": entry is not None,
+                "owner": entry[0] if entry else None,
+                "version": entry[1] if entry else None,
+            },
+        )
+
+    def _on_update(self, msg: Message) -> None:
+        oid = msg.payload["oid"]
+        self.register(oid, msg.payload["owner"], msg.payload.get("version"))
+        self.node.reply(msg, MessageType.DIR_UPDATE_ACK, {"oid": oid})
+
+    def _on_validate(self, msg: Message) -> None:
+        oid = msg.payload["oid"]
+        read_version = msg.payload["version"]
+        registered = self.registered_version(oid)
+        self.node.reply(
+            msg,
+            MessageType.READ_VALIDATE_REPLY,
+            {
+                "oid": oid,
+                # Unknown objects validate trivially: nothing committed yet.
+                "valid": registered is None or registered == read_version,
+                "registered_version": registered,
+            },
+        )
+
+    def __repr__(self) -> str:
+        return f"<DirectoryShard node={self.node.node_id} entries={len(self._entries)}>"

@@ -1,0 +1,65 @@
+"""Exceptions and abort-cause taxonomy.
+
+:class:`AbortReason` distinguishes every way a transaction can die; the
+metrics layer aggregates these into the paper's Table I (nested aborts
+caused by a parent abort vs. nested aborts from validation/conflicts).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+__all__ = ["AbortReason", "TransactionAborted", "TransactionError"]
+
+
+class AbortReason(str, enum.Enum):
+    """Why a transaction aborted."""
+
+    #: Read-set entry invalidated, detected while forwarding (TFA early
+    #: validation — the paper's *first* abort kind).
+    EARLY_VALIDATION = "early_validation"
+    #: Read-set entry invalidated at commit time.
+    COMMIT_VALIDATION = "commit_validation"
+    #: Lost a conflict on an object being validated / in use (the paper's
+    #: *second* abort kind — the one RTS schedules).
+    BUSY_OBJECT = "busy_object"
+    #: RTS: was enqueued but the assigned backoff expired before the object
+    #: arrived (Algorithm 2's null return after the wait).
+    BACKOFF_EXPIRED = "backoff_expired"
+    #: A closed-nested transaction dies because its parent (or any
+    #: ancestor) aborted.
+    PARENT_ABORT = "parent_abort"
+    #: Killed by a requester-wins contention manager (ablation only).
+    DOOMED_BY_REQUESTER = "doomed_by_requester"
+    #: Explicit application-level abort.
+    USER_ABORT = "user_abort"
+
+
+class TransactionError(RuntimeError):
+    """Programming errors against the transaction API (not aborts)."""
+
+
+class TransactionAborted(Exception):
+    """Control-flow signal: the transaction identified by ``victim`` died.
+
+    The exception propagates out of transaction bodies; retry loops catch
+    it at the nesting level that matches ``victim`` (an inner abort is
+    handled by the inner retry loop, an ancestor abort propagates further
+    up — the closed-nesting rule).
+    """
+
+    def __init__(
+        self,
+        victim: "Transaction",  # noqa: F821
+        reason: AbortReason,
+        detail: str = "",
+        oid: Optional[str] = None,
+    ) -> None:
+        super().__init__(f"{victim.txid} aborted: {reason.value}"
+                         + (f" on {oid}" if oid else "")
+                         + (f" ({detail})" if detail else ""))
+        self.victim = victim
+        self.reason = AbortReason(reason)
+        self.detail = detail
+        self.oid = oid

@@ -1,0 +1,658 @@
+"""The per-node TM proxy: the object-access protocol (Algorithms 2-4).
+
+Responsibilities:
+
+* **local object store** — the objects this node currently owns (dataflow
+  model: the single writable copy lives with its owner and migrates);
+* **``Open_Object``** (Algorithm 2) — requester side: locate the owner
+  (hint cache, falling back to the directory), send the retrieve request
+  carrying ``(oid, txid, myCL, ETS)``, and either return the granted
+  object, or wait out an assigned backoff racing the object hand-off, or
+  raise :class:`TransactionAborted`;
+* **``Retrieve_Request``** (Algorithm 3) — owner side: serve free objects
+  (migrating ownership to writers), serve committed snapshots to readers,
+  and on conflict delegate the abort-or-enqueue decision to the attached
+  scheduler policy;
+* **``Retrieve_Response`` / hand-offs** (Algorithm 4) — requester side:
+  wake the waiting ``Open_Object`` (the paper's ``TransactionQueue`` is
+  our ``_waiters`` map); an object arriving for a transaction that
+  already gave up is forwarded onward to the next queued requester, which
+  works because the remaining requester list ships *with* every ownership
+  hand-off (§III-B).
+
+The proxy is deliberately policy-free: all abort/enqueue choices live in
+the :class:`~repro.scheduler.base.SchedulerPolicy` instance bound at
+construction.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from repro.dstm.contention import DoomRegistry, WinnerPolicy
+from repro.dstm.directory import DirectoryShard
+from repro.dstm.errors import AbortReason, TransactionAborted, TransactionError
+from repro.dstm.objects import ObjectMode, ObjectState, VersionedObject, home_node
+from repro.dstm.transaction import ETS, Transaction
+from repro.net.message import Message, MessageType
+from repro.net.node import Node
+from repro.scheduler.base import (
+    ConflictContext,
+    ConflictDecision,
+    DecisionKind,
+    SchedulerPolicy,
+)
+from repro.scheduler.queues import Requester, RequesterList
+from repro.sim import Tracer
+from repro.util.stats import Ewma
+
+__all__ = ["Grant", "TMProxy"]
+
+
+class Grant:
+    """What a successful ``Open_Object`` returns."""
+
+    __slots__ = ("oid", "value", "version", "owner_clock", "local_cl", "served_by")
+
+    def __init__(
+        self,
+        oid: str,
+        value: Any,
+        version: int,
+        owner_clock: int,
+        local_cl: int,
+        served_by: int,
+    ) -> None:
+        self.oid = oid
+        self.value = value
+        self.version = version
+        self.owner_clock = owner_clock
+        self.local_cl = local_cl
+        self.served_by = served_by
+
+    def __repr__(self) -> str:
+        return f"<Grant {self.oid} v{self.version} from n{self.served_by}>"
+
+
+class TMProxy:
+    """One node's transactional-memory proxy."""
+
+    def __init__(
+        self,
+        node: Node,
+        directory: DirectoryShard,
+        scheduler: SchedulerPolicy,
+        tracer: Optional[Tracer] = None,
+        fallback_exec_estimate: float = 0.05,
+        winner_policy: WinnerPolicy = WinnerPolicy.HOLDER_WINS,
+        conflict_scope: str = "root",
+    ) -> None:
+        self.node = node
+        self.env = node.env
+        self.directory = directory
+        self.scheduler = scheduler
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.fallback_exec_estimate = float(fallback_exec_estimate)
+        self.winner_policy = WinnerPolicy(winner_policy)
+        if conflict_scope not in ("root", "level", "mixed"):
+            raise ValueError(
+                f"conflict_scope must be 'root', 'level' or 'mixed', got {conflict_scope!r}"
+            )
+        #: who a lost busy-object conflict kills.  "mixed" (default, the
+        #: closed-nesting model of the paper's TFA baseline [24]):
+        #: execution-phase copy fetches abort only the requesting nested
+        #: level, while commit-phase acquisitions abort the whole parent —
+        #: those are the "losing parent transactions" RTS schedules.
+        #: "root"/"level" force one victim for every conflict (ablations).
+        self.conflict_scope = conflict_scope
+        #: lazily-aborted transactions (greedy-timestamp ablation)
+        self.doomed = DoomRegistry()
+        scheduler.bind(node.node_id)
+
+        #: objects owned by this node
+        self.store: Dict[str, VersionedObject] = {}
+        #: the paper's scheduling_List: per-object requester queues
+        self.queues: Dict[str, RequesterList] = {}
+        #: last known owner per object (routing hints; may be stale)
+        self.owner_hints: Dict[str, int] = {}
+        #: the paper's TransactionQueue: (root txid, oid) -> waiting event
+        self._waiters: Dict[Tuple[str, str], Any] = {}
+        #: EWMA of observed validation-window durations (for holder_remaining)
+        self.validation_time = Ewma(alpha=0.3, initial=0.0)
+        #: time each VALIDATING/IN_USE state was entered, per oid
+        self._hold_started: Dict[str, float] = {}
+        #: holder's reported transaction start time, per oid (greedy CM)
+        self._holder_start: Dict[str, float] = {}
+        #: requester-side enqueue outcomes (diagnostics + tests)
+        self.enqueue_wins = 0
+        self.enqueue_expiries = 0
+        #: how many times an expired waiter re-requests before aborting
+        self.rerequest_limit = 8
+
+        node.on(MessageType.RETRIEVE_REQUEST, self._on_retrieve_request)
+        node.on(MessageType.OBJECT_HANDOFF, self._on_object_handoff)
+        # Fire-and-forget ownership registrations still produce acks from
+        # the directory shard; absorb the ones no RPC waiter claims.
+        node.on(MessageType.DIR_UPDATE_ACK, lambda _msg: None)
+
+    # ------------------------------------------------------------------
+    # Setup-time API (used by the cluster bootstrap, outside simulation)
+    # ------------------------------------------------------------------
+
+    def install_object(self, oid: str, value: Any, version: int = 0) -> VersionedObject:
+        """Place a fresh object at this node (bootstrap only)."""
+        if oid in self.store:
+            raise TransactionError(f"object {oid} already installed at node {self.node.node_id}")
+        obj = VersionedObject(oid, value, version)
+        self.store[oid] = obj
+        return obj
+
+    # ------------------------------------------------------------------
+    # Requester side: Open_Object (Algorithm 2)
+    # ------------------------------------------------------------------
+
+    def open_object(
+        self,
+        tx: Transaction,
+        oid: str,
+        mode: ObjectMode,
+    ) -> Generator[Any, Any, Grant]:
+        """Acquire ``oid`` for ``tx`` (generator; use ``yield from``).
+
+        Returns a :class:`Grant`; raises :class:`TransactionAborted` when
+        the scheduler rejects us or an assigned backoff expires.
+        """
+        root = tx.root
+        ets = self._build_ets(root)
+        # While an ownership hand-off is in flight, both the directory and
+        # the hint chain can be transiently stale; chasing pauses briefly
+        # between hops so the migration can land.
+        chase_pause = max(self.node.network.topology.min_delay * 0.5, 1e-4)
+        expiries = 0
+        for hop in range(256):
+            owner = self.owner_hints.get(oid)
+            if owner is None:
+                owner = yield from self._lookup_owner(oid)
+            reply = yield from self.node.request(
+                owner,
+                MessageType.RETRIEVE_REQUEST,
+                {
+                    "oid": oid,
+                    "txid": root.task_id,
+                    "mode": mode.value,
+                    "my_cl": root.my_cl(),
+                    "ets": (ets.start, ets.request, ets.expected_commit),
+                },
+            )
+            p = reply.payload
+
+            if p.get("not_owner"):
+                hint = p.get("owner_hint")
+                if hint is not None and hint != owner:
+                    self.owner_hints[oid] = hint
+                else:
+                    self.owner_hints.pop(oid, None)
+                yield self.env.timeout(chase_pause)
+                continue
+
+            if p["granted"]:
+                return self._absorb_grant(root, oid, mode, p, reply)
+
+            if p.get("enqueued"):
+                # backoff None = parked on the local object lock (no
+                # scheduler budget); bounded by a generous cap purely as
+                # a live-lock safety valve.
+                budget = p["backoff"] if p["backoff"] is not None else 30.0
+                grant_payload = yield from self._await_handoff(
+                    root, oid, float(budget)
+                )
+                if grant_payload is None:
+                    # Backoff expired before the object arrived.  §III-B:
+                    # "the transaction requests the object and is enqueued
+                    # again as a new transaction; the duplicated
+                    # transaction will be removed from the queue."  We
+                    # re-request a bounded number of times (the owner's
+                    # removeDuplicate drops our stale entry), then give up
+                    # and abort for real.
+                    expiries += 1
+                    self.enqueue_expiries += 1
+                    if expiries <= self.rerequest_limit:
+                        continue
+                    raise TransactionAborted(
+                        self._conflict_victim(tx, mode), AbortReason.BACKOFF_EXPIRED,
+                        oid=oid, detail=f"backoff {budget:.4f}s expired",
+                    )
+                self.enqueue_wins += 1
+                return self._absorb_grant(root, oid, mode, grant_payload, None)
+
+            # Plain rejection: the scheduler chose abort.  Per the paper,
+            # the loser of a busy-object conflict is the *parent*
+            # transaction (§III: "RTS performs two actions for a losing
+            # parent transaction") — the 'level' ablation confines the
+            # abort to the requesting nested level instead.
+            raise TransactionAborted(
+                self._conflict_victim(tx, mode), AbortReason.BUSY_OBJECT, oid=oid
+            )
+        # The object migrated faster than we could chase it for 256 hops —
+        # it is extremely contended; treat as losing a conflict on it.
+        raise TransactionAborted(
+            self._conflict_victim(tx, mode), AbortReason.BUSY_OBJECT, oid=oid,
+            detail="owner chase exhausted",
+        )
+
+    def _conflict_victim(self, tx: Transaction, mode: ObjectMode) -> Transaction:
+        if self.conflict_scope == "root":
+            return tx.root
+        if self.conflict_scope == "level":
+            return tx
+        # mixed: inner levels absorb execution-phase (copy) conflicts;
+        # commit-phase acquisitions are issued by (and kill) the root.
+        return tx if mode.is_copy else tx.root
+
+    def _build_ets(self, root: Transaction) -> ETS:
+        now = self.node.now_local
+        expected = self.scheduler.expected_duration(
+            root.profile, self.fallback_exec_estimate
+        )
+        return ETS(
+            start=root.start_local_time,
+            request=now,
+            expected_commit=root.start_local_time + expected,
+        )
+
+    def _lookup_owner(self, oid: str) -> Generator[Any, Any, int]:
+        home = home_node(oid, self.node.network.num_nodes)
+        reply = yield from self.node.request(
+            home, MessageType.DIR_LOOKUP, {"oid": oid}
+        )
+        p = reply.payload
+        if not p["known"]:
+            raise TransactionError(f"object {oid} is not registered anywhere")
+        self.owner_hints[oid] = p["owner"]
+        return int(p["owner"])
+
+    def _absorb_grant(
+        self,
+        root: Transaction,
+        oid: str,
+        mode: ObjectMode,
+        payload: Dict[str, Any],
+        reply: Optional[Message],
+    ) -> Grant:
+        served_by = int(payload["served_by"])
+        owner_clock = (
+            reply.clock if reply is not None else int(payload.get("owner_clock", 0))
+        )
+        grant = Grant(
+            oid=oid,
+            value=payload["value"],
+            version=int(payload["version"]),
+            owner_clock=owner_clock,
+            local_cl=int(payload.get("local_cl", 0)),
+            served_by=served_by,
+        )
+        root.known_cl[oid] = grant.local_cl
+        if mode is ObjectMode.ACQUIRE:
+            if payload.get("transferred"):
+                # Ownership migrated to us with this grant; the object
+                # enters the validation window immediately (we are
+                # mid-commit).
+                self._install_transferred(oid, payload, holder=root.task_id)
+            else:
+                # We already owned it (local re-grant): (re-)enter the
+                # validation window.
+                obj = self.store[oid]
+                obj.state = ObjectState.VALIDATING
+                obj.holder = root.task_id
+                self._hold_started.setdefault(oid, self.node.now_local)
+            self._holder_start[oid] = root.start_local_time
+            self.owner_hints[oid] = self.node.node_id
+        else:
+            self.owner_hints.setdefault(oid, served_by)
+        if self.tracer.wants("dstm.grant"):
+            self.tracer.emit(
+                self.env.now, "dstm.grant", oid,
+                txid=root.task_id, mode=mode.value, version=grant.version,
+                served_by=served_by,
+            )
+        return grant
+
+    def _install_transferred(
+        self, oid: str, payload: Dict[str, Any], holder: Optional[str]
+    ) -> None:
+        """Install an object whose ownership just migrated to this node."""
+        obj = VersionedObject(oid, payload["value"], int(payload["version"]))
+        if holder is not None:
+            # Acquisition happens mid-commit: straight into validation.
+            obj.state = ObjectState.VALIDATING
+            obj.holder = holder
+            self._hold_started[oid] = self.node.now_local
+        self.store[oid] = obj
+        self.owner_hints[oid] = self.node.node_id
+        queue_entries: List[Requester] = payload.get("queue") or []
+        if queue_entries:
+            self.queues[oid] = RequesterList.from_snapshot(
+                queue_entries, bk=float(payload.get("bk", 0.0))
+            )
+        # Register ownership with the home directory (asynchronous: the
+        # old owner forwards stragglers to us in the meantime).
+        home = home_node(oid, self.node.network.num_nodes)
+        self.node.send(
+            home, MessageType.DIR_UPDATE,
+            {"oid": oid, "owner": self.node.node_id, "version": None},
+        )
+
+    def _await_handoff(
+        self, root: Transaction, oid: str, backoff: float
+    ) -> Generator[Any, Any, Optional[Dict[str, Any]]]:
+        """Wait for an object hand-off, racing the assigned backoff."""
+        key = (root.task_id, oid)
+        waiter = self.env.event()
+        self._waiters[key] = waiter
+        expiry = self.env.timeout(max(backoff, 0.0))
+        outcome = yield (waiter | expiry)
+        if waiter in outcome:
+            return outcome[waiter]
+        # Backoff expired first: deregister (Algorithm 2's
+        # TransactionQueue.remove) so a late hand-off forwards onward.
+        self._waiters.pop(key, None)
+        return None
+
+    # ------------------------------------------------------------------
+    # Owner side: Retrieve_Request (Algorithm 3)
+    # ------------------------------------------------------------------
+
+    def _on_retrieve_request(self, msg: Message) -> None:
+        p = msg.payload
+        oid: str = p["oid"]
+        root_txid: str = p["txid"]
+        mode = ObjectMode(p["mode"])
+        now = self.node.now_local
+
+        obj = self.store.get(oid)
+        if obj is None:
+            self.node.reply(
+                msg, MessageType.RETRIEVE_RESPONSE,
+                {
+                    "oid": oid, "granted": False, "not_owner": True,
+                    "owner_hint": self.owner_hints.get(oid),
+                },
+            )
+            return
+
+        self.scheduler.on_request(oid, root_txid, now)
+        local_cl = self._local_cl(oid)
+
+        # Re-grant to the holder itself (same root re-opening its object).
+        if obj.state is not ObjectState.FREE and obj.holder == root_txid:
+            self._grant(msg, obj, mode, transferred=False, local_cl=local_cl)
+            return
+
+        if obj.state is ObjectState.FREE:
+            if mode.is_copy:
+                # Committed snapshot; ownership unchanged.  TFA serves
+                # copies optimistically — the requester validates later.
+                self._grant(msg, obj, mode, transferred=False, local_cl=local_cl)
+            else:
+                # Commit-time acquisition of a free object: migrate the
+                # single writable copy to the committing node.
+                self._grant(msg, obj, mode, transferred=True, local_cl=local_cl)
+            return
+
+        # ---- conflict: the object is being validated by another commit ----
+
+        # Same-node requests never enter distributed contention
+        # management: a local thread simply blocks on the proxy's object
+        # lock until the validation window closes (microseconds of local
+        # waiting in the real system).  The paper's scheduled conflicts
+        # are the *remote* ones, priced in round trips.
+        if msg.src == self.node.node_id:
+            queue = self.queues.get(oid)
+            if queue is None:
+                queue = RequesterList()
+                self.queues[oid] = queue
+            queue.remove_duplicate(root_txid)
+            s, r, c = p["ets"]
+            queue.add_requester(
+                1,
+                Requester(
+                    node=msg.src, txid=root_txid, mode=mode,
+                    ets=ETS(s, r, c), enqueued_at=now, local_wait=True,
+                ),
+            )
+            self.node.reply(
+                msg, MessageType.RETRIEVE_RESPONSE,
+                {
+                    "oid": oid, "granted": False, "enqueued": True,
+                    "backoff": None, "local_cl": local_cl,
+                },
+            )
+            return
+
+        # Contention manager (ablation): an older requester may doom the
+        # younger validating holder, which then aborts lazily.
+        if (
+            self.winner_policy is WinnerPolicy.GREEDY_TIMESTAMP
+            and obj.holder is not None
+        ):
+            requester_start = p["ets"][0]
+            holder_start = self._holder_start.get(oid, float("-inf"))
+            if requester_start < holder_start:
+                self.doomed.doom(obj.holder)
+
+        # ---- conflict: delegate to the scheduler ----
+        queue = self.queues.get(oid)
+        if queue is None:
+            queue = RequesterList()
+            self.queues[oid] = queue
+        was_duplicate = queue.remove_duplicate(root_txid)
+        s, r, c = p["ets"]
+        ctx = ConflictContext(
+            oid=oid,
+            obj=obj,
+            mode=mode,
+            requester_node=msg.src,
+            requester_txid=root_txid,
+            requester_cl=int(p.get("my_cl", 0)),
+            ets=ETS(s, r, c),
+            queue=queue,
+            now_local=now,
+            holder_remaining=self._holder_remaining(oid),
+            was_duplicate=was_duplicate,
+        )
+        decision = self.scheduler.on_conflict(ctx)
+        if self.tracer.wants("dstm.conflict"):
+            self.tracer.emit(
+                self.env.now, "dstm.conflict", oid,
+                txid=root_txid, mode=mode.value, state=obj.state.value,
+                decision=decision.kind.value, backoff=decision.backoff,
+            )
+        if decision.kind is DecisionKind.ENQUEUE:
+            self.node.reply(
+                msg, MessageType.RETRIEVE_RESPONSE,
+                {
+                    "oid": oid, "granted": False, "enqueued": True,
+                    "backoff": decision.backoff, "local_cl": local_cl,
+                },
+            )
+        else:
+            self.node.reply(
+                msg, MessageType.RETRIEVE_RESPONSE,
+                {
+                    "oid": oid, "granted": False, "enqueued": False,
+                    "backoff": 0.0, "local_cl": local_cl,
+                },
+            )
+
+    def _grant(
+        self,
+        msg: Message,
+        obj: VersionedObject,
+        mode: ObjectMode,
+        transferred: bool,
+        local_cl: int,
+    ) -> None:
+        payload: Dict[str, Any] = {
+            "oid": obj.oid,
+            "granted": True,
+            "value": obj.value,
+            "version": obj.version,
+            "local_cl": local_cl,
+            "served_by": self.node.node_id,
+        }
+        if transferred:
+            payload["transferred"] = True
+            queue = self.queues.pop(obj.oid, None)
+            if queue is not None and len(queue):
+                payload["queue"] = queue.snapshot()
+                payload["bk"] = queue.bk
+            del self.store[obj.oid]
+            self._hold_started.pop(obj.oid, None)
+            self.owner_hints[obj.oid] = msg.src
+        self.node.reply(msg, MessageType.RETRIEVE_RESPONSE, payload)
+
+    def _local_cl(self, oid: str) -> int:
+        """Transactions currently wanting ``oid`` here: the queue, plus
+        the validator occupying it.  This is what grants piggyback so
+        requesters can maintain myCL at the paper's scale (§III-B's
+        worked example uses values of 1-2)."""
+        obj = self.store.get(oid)
+        validating = 1 if obj is not None and obj.state is ObjectState.VALIDATING else 0
+        return self.queue_length(oid) + validating
+
+    def _holder_remaining(self, oid: str) -> float:
+        """Estimate of the current holder's remaining hold time."""
+        est = self.validation_time.value if self.validation_time.count else 0.0
+        if est <= 0.0:
+            # No history yet: assume one mean network round trip.
+            est = 2.0 * self.node.network.topology.mean_delay()
+        started = self._hold_started.get(oid)
+        if started is None:
+            return est
+        elapsed = self.node.now_local - started
+        # Hold times are heavy-tailed (a validator can itself be queued
+        # behind other commits), so once the mean is exceeded treat the
+        # remainder as roughly memoryless rather than nearly done.
+        return max(est - elapsed, est * 0.5)
+
+    # ------------------------------------------------------------------
+    # Owner side: release + queue service (commit/abort epilogue)
+    # ------------------------------------------------------------------
+
+    def begin_validation(self, oid: str, root_txid: str) -> None:
+        """Enter the commit validation window for an owned object."""
+        obj = self.store[oid]
+        obj.state = ObjectState.VALIDATING
+        obj.holder = root_txid
+        self._hold_started.setdefault(oid, self.node.now_local)
+
+    def release_object(self, oid: str, committed: bool) -> None:
+        """Release a held object and serve its queue (§III-B hand-offs)."""
+        obj = self.store.get(oid)
+        if obj is None:
+            return
+        started = self._hold_started.pop(oid, None)
+        self._holder_start.pop(oid, None)
+        if started is not None and committed:
+            self.validation_time.observe(self.node.now_local - started)
+        obj.release()
+
+        queue = self.queues.get(oid)
+        if queue is None or not len(queue):
+            if queue is not None:
+                queue.reset_backlog()
+            return
+
+        # Every queued snapshot requester (reads and write-copies) gets the
+        # committed value simultaneously — §III-B's read multicast.
+        for requester in queue.pop_copy_requesters():
+            self._send_handoff(requester, obj, transferred=False)
+
+        acquirer = queue.pop_next_acquirer()
+        if acquirer is None:
+            queue.reset_backlog()
+            return
+        # Ownership migrates to the first queued committer; the remaining
+        # queue (and its backlog) travels with the object.
+        remaining = queue.snapshot()
+        bk = queue.bk
+        del self.queues[oid]
+        del self.store[oid]
+        self.owner_hints[oid] = acquirer.node
+        self.node.send(
+            acquirer.node, MessageType.OBJECT_HANDOFF,
+            {
+                "oid": oid, "txid": acquirer.txid, "mode": acquirer.mode.value,
+                "granted": True, "transferred": True,
+                "value": obj.value, "version": obj.version,
+                "queue": remaining, "bk": bk,
+                "local_cl": len(remaining),
+                "served_by": self.node.node_id,
+                "owner_clock": self.node.clock.tfa_clock,
+            },
+        )
+
+    def _send_handoff(self, requester: Requester, obj: VersionedObject, transferred: bool) -> None:
+        self.node.send(
+            requester.node, MessageType.OBJECT_HANDOFF,
+            {
+                "oid": obj.oid, "txid": requester.txid,
+                "mode": requester.mode.value,
+                "granted": True, "transferred": transferred,
+                "value": obj.value, "version": obj.version,
+                "local_cl": 0,
+                "served_by": self.node.node_id,
+                "owner_clock": self.node.clock.tfa_clock,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Requester side: hand-off arrival (Algorithm 4)
+    # ------------------------------------------------------------------
+
+    def _on_object_handoff(self, msg: Message) -> None:
+        p = msg.payload
+        oid: str = p["oid"]
+        txid: str = p["txid"]
+        p.setdefault("owner_clock", msg.clock)
+        key = (txid, oid)
+        waiter = self._waiters.pop(key, None)
+
+        if waiter is not None and not waiter.triggered:
+            if p.get("transferred"):
+                self._install_transferred(oid, p, holder=txid)
+                # The install is done; hand the waiter a payload that will
+                # not trigger a second install in _absorb_grant.
+                p = dict(p, transferred=False)
+            waiter.succeed(p)
+            return
+
+        # Algorithm 4's else-branch: nobody here needs the object any more.
+        if p.get("transferred"):
+            # We *are* the owner now (the queue shipped with the object);
+            # forward straight to the next queued requester.
+            self._install_transferred(oid, p, holder=None)
+            self.release_object(oid, committed=False)
+        # A read hand-off with no waiter is simply dropped: shared
+        # snapshots carry no state.
+
+    # ------------------------------------------------------------------
+    # Introspection / invariants (tests lean on these)
+    # ------------------------------------------------------------------
+
+    def owns(self, oid: str) -> bool:
+        return oid in self.store
+
+    def object_state(self, oid: str) -> Optional[ObjectState]:
+        obj = self.store.get(oid)
+        return obj.state if obj is not None else None
+
+    def queue_length(self, oid: str) -> int:
+        queue = self.queues.get(oid)
+        return len(queue) if queue is not None else 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<TMProxy node={self.node.node_id} owns={len(self.store)} "
+            f"queues={sum(len(q) for q in self.queues.values())}>"
+        )

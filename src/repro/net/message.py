@@ -1,0 +1,76 @@
+"""Typed message envelopes for the simulated network.
+
+Every message carries routing metadata (src/dst, monotonically increasing
+id), the sender's TFA clock (piggybacked on *all* traffic, as TFA
+requires), and a free-form payload dict.  ``reply_to`` links responses to
+requests, which is what the node runtime's RPC helper keys on.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+__all__ = ["Message", "MessageType"]
+
+_msg_ids = itertools.count(1)
+
+
+class MessageType(str, enum.Enum):
+    """Wire-level message kinds of the D-STM protocol stack."""
+
+    # Cache-coherence / directory protocol
+    DIR_LOOKUP = "dir_lookup"            # who owns object o?
+    DIR_LOOKUP_REPLY = "dir_lookup_reply"
+    DIR_UPDATE = "dir_update"            # ownership registration
+    DIR_UPDATE_ACK = "dir_update_ack"
+
+    # Object access protocol (paper Algorithms 2-4)
+    RETRIEVE_REQUEST = "retrieve_request"    # Open_Object -> owner
+    RETRIEVE_RESPONSE = "retrieve_response"  # owner -> requester
+    OBJECT_HANDOFF = "object_handoff"        # queued-requester hand-off
+
+    # Commit protocol
+    COMMIT_PUBLISH = "commit_publish"        # new versions announced
+    READ_VALIDATE = "read_validate"          # version check during forwarding
+    READ_VALIDATE_REPLY = "read_validate_reply"
+
+    # Arrow distributed directory (alternative CC locator; ablation A9)
+    ARROW_FIND = "arrow_find"
+    ARROW_TOKEN = "arrow_token"
+
+    # Generic
+    PING = "ping"
+    PONG = "pong"
+
+
+@dataclass
+class Message:
+    """An envelope travelling between two nodes."""
+
+    mtype: MessageType
+    src: int
+    dst: int
+    payload: Dict[str, Any] = field(default_factory=dict)
+    #: sender's TFA node-clock value at send time (piggybacked everywhere)
+    clock: int = 0
+    #: id of the request this message answers, if any
+    reply_to: Optional[int] = None
+    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+    #: simulation time the message was sent (set by the network)
+    sent_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.mtype = MessageType(self.mtype)
+
+    def is_reply(self) -> bool:
+        return self.reply_to is not None
+
+    def __repr__(self) -> str:
+        tail = f" reply_to={self.reply_to}" if self.reply_to is not None else ""
+        return (
+            f"<Message #{self.msg_id} {self.mtype.value} "
+            f"{self.src}->{self.dst} clk={self.clock}{tail}>"
+        )

@@ -1,0 +1,131 @@
+"""The message transport.
+
+Reliable, in-order-per-link delivery: a message sent at time *t* over link
+(src, dst) arrives at ``t + topology.delay(src, dst)``.  Delays are static
+(per §IV-A of the paper), so per-link FIFO order follows from the event
+queue's deterministic tie-breaking.  Local sends (src == dst) are delivered
+after ``local_delay`` (default 0: a function call, not a network hop).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, Optional
+
+from repro.net.message import Message, MessageType
+from repro.net.topology import Topology
+from repro.sim import Counter, Environment, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.node import Node
+
+__all__ = ["Network"]
+
+
+class Network:
+    """Connects :class:`~repro.net.node.Node` instances over a topology."""
+
+    def __init__(
+        self,
+        env: Environment,
+        topology: Topology,
+        tracer: Optional[Tracer] = None,
+        local_delay: float = 0.0,
+    ) -> None:
+        self.env = env
+        self.topology = topology
+        # Note: explicit None test — Tracer defines __len__, so an empty
+        # tracer is falsy and `tracer or Tracer()` would discard it.
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.local_delay = float(local_delay)
+        self._nodes: Dict[int, "Node"] = {}
+        # Instrumentation
+        self.messages_sent = Counter("net.messages_sent")
+        self.messages_delivered = Counter("net.messages_delivered")
+        self.total_delay = 0.0
+        self.per_type: Dict[MessageType, int] = {}
+
+    # -- membership -----------------------------------------------------------
+
+    def attach(self, node: "Node") -> None:
+        if node.node_id in self._nodes:
+            raise ValueError(f"node {node.node_id} already attached")
+        if not 0 <= node.node_id < self.topology.num_nodes:
+            raise ValueError(
+                f"node id {node.node_id} outside topology of "
+                f"{self.topology.num_nodes} nodes"
+            )
+        self._nodes[node.node_id] = node
+
+    def node(self, node_id: int) -> "Node":
+        return self._nodes[node_id]
+
+    @property
+    def num_nodes(self) -> int:
+        return self.topology.num_nodes
+
+    # -- transport ----------------------------------------------------------------
+
+    def send(self, msg: Message) -> float:
+        """Dispatch ``msg``; returns the scheduled delivery time."""
+        if msg.dst not in self._nodes:
+            raise KeyError(f"unknown destination node {msg.dst}")
+        msg.sent_at = self.env.now
+        delay = (
+            self.local_delay
+            if msg.src == msg.dst
+            else self.topology.delay(msg.src, msg.dst)
+        )
+        self.messages_sent.increment()
+        self.per_type[msg.mtype] = self.per_type.get(msg.mtype, 0) + 1
+        self.total_delay += delay
+        if self.tracer.wants("net.send"):
+            self.tracer.emit(
+                self.env.now, "net.send", f"msg{msg.msg_id}",
+                mtype=msg.mtype.value, src=msg.src, dst=msg.dst, delay=delay,
+            )
+        deliver_at = self.env.now + delay
+        timeout = self.env.timeout(delay, value=msg)
+        timeout.add_callback(self._deliver)
+        return deliver_at
+
+    def _deliver(self, event) -> None:
+        msg: Message = event.value
+        self.messages_delivered.increment()
+        if self.tracer.wants("net.recv"):
+            self.tracer.emit(
+                self.env.now, "net.recv", f"msg{msg.msg_id}",
+                mtype=msg.mtype.value, src=msg.src, dst=msg.dst,
+            )
+        self._nodes[msg.dst].deliver(msg)
+
+    def broadcast(
+        self,
+        src: int,
+        mtype: MessageType,
+        payload_for: Callable[[int], Optional[dict]],
+        clock: int = 0,
+    ) -> int:
+        """Send to every *other* node; ``payload_for(dst)`` may return None
+        to skip a destination.  Returns the number of messages sent."""
+        sent = 0
+        for dst in sorted(self._nodes):
+            if dst == src:
+                continue
+            payload = payload_for(dst)
+            if payload is None:
+                continue
+            self.send(Message(mtype, src, dst, payload, clock=clock))
+            sent += 1
+        return sent
+
+    # -- reporting ----------------------------------------------------------------
+
+    def mean_message_delay(self) -> float:
+        n = self.messages_sent.value
+        return self.total_delay / n if n else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"<Network nodes={len(self._nodes)} "
+            f"sent={self.messages_sent.value}>"
+        )

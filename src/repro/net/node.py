@@ -1,0 +1,185 @@
+"""Node runtime: message dispatch, request/reply plumbing, clock handling.
+
+A :class:`Node` is the per-machine container.  Protocol layers (the TM
+proxy, directory shard, scheduler) register handlers per
+:class:`~repro.net.message.MessageType`; the node delivers each inbound
+message to its handler after advancing the local TFA clock to the
+piggybacked value — the clock-propagation rule TFA relies on.
+
+The :meth:`Node.request` helper implements blocking RPC for process code::
+
+    reply = yield from node.request(dst, MessageType.DIR_LOOKUP, {"oid": oid})
+
+Replies are matched on ``reply_to``; an optional timeout turns a lost/slow
+reply into :class:`RpcError` (the simulated network is reliable, so in
+practice timeouts only fire when a peer deliberately withholds a reply —
+which the RTS backoff path exercises).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Dict, Generator, Optional
+
+from repro.net.clocks import NodeClock
+from repro.net.message import Message, MessageType
+from repro.sim import Environment
+
+__all__ = ["Node", "RpcError"]
+
+Handler = Callable[[Message], Any]
+
+
+class RpcError(RuntimeError):
+    """A request did not complete (timeout)."""
+
+
+class Node:
+    """One simulated machine attached to a :class:`~repro.net.network.Network`."""
+
+    def __init__(
+        self,
+        env: Environment,
+        network: "Network",  # noqa: F821
+        node_id: int,
+        clock: Optional[NodeClock] = None,
+        msg_process_time: float = 0.0,
+    ) -> None:
+        self.env = env
+        self.network = network
+        self.node_id = node_id
+        self.clock = clock or NodeClock(node_id)
+        self._handlers: Dict[MessageType, Handler] = {}
+        self._pending_replies: Dict[int, Any] = {}  # msg_id -> Event
+        #: per-message CPU service time of this node's proxy stack.  When
+        #: positive, inbound messages queue behind each other (a serial
+        #: server): hot nodes congest, so protocols that flood the network
+        #: with retries pay for it — the "additional requests incur more
+        #: contention" effect of the paper (§IV-C).
+        self.msg_process_time = float(msg_process_time)
+        self._inbox: deque = deque()
+        self._server_busy = False
+        #: total messages processed and cumulative queueing delay
+        self.messages_processed = 0
+        self.total_queueing_delay = 0.0
+        network.attach(self)
+
+    # -- handler registry -------------------------------------------------------
+
+    def on(self, mtype: MessageType, handler: Handler) -> None:
+        """Register ``handler`` for ``mtype`` (one handler per type)."""
+        if mtype in self._handlers:
+            raise ValueError(f"node {self.node_id}: handler for {mtype} already set")
+        self._handlers[MessageType(mtype)] = handler
+
+    # -- inbound ------------------------------------------------------------------
+
+    def deliver(self, msg: Message) -> None:
+        """Entry point called by the network on message arrival.
+
+        With a zero service time the message dispatches inline; otherwise
+        it queues behind the node's serial message server.
+        """
+        if self.msg_process_time <= 0.0:
+            self._dispatch(msg)
+            return
+        self._inbox.append((self.env.now, msg))
+        if not self._server_busy:
+            self._server_busy = True
+            self.env.process(self._serve(), name=f"n{self.node_id}.inbox")
+
+    def _serve(self):
+        """Serial message server: one message per service period."""
+        while self._inbox:
+            arrived, msg = self._inbox.popleft()
+            yield self.env.timeout(self.msg_process_time)
+            self.messages_processed += 1
+            self.total_queueing_delay += self.env.now - arrived
+            self._dispatch(msg)
+        self._server_busy = False
+
+    def _dispatch(self, msg: Message) -> None:
+        # TFA rule: advance the local transactional clock to any larger
+        # observed value before processing.
+        self.clock.advance_to(msg.clock)
+
+        if msg.reply_to is not None:
+            waiter = self._pending_replies.pop(msg.reply_to, None)
+            if waiter is not None and not waiter.triggered:
+                waiter.succeed(msg)
+                return
+            # Fall through: unsolicited/late replies go to handlers too
+            # (the RTS object hand-off after backoff expiry needs this).
+        handler = self._handlers.get(msg.mtype)
+        if handler is None:
+            raise LookupError(
+                f"node {self.node_id} has no handler for {msg.mtype} "
+                f"(message {msg!r})"
+            )
+        result = handler(msg)
+        if result is not None and hasattr(result, "send"):
+            # Handlers may be generator functions: run them as processes.
+            self.env.process(result, name=f"n{self.node_id}.{msg.mtype.value}")
+
+    # -- outbound ------------------------------------------------------------------
+
+    def send(
+        self,
+        dst: int,
+        mtype: MessageType,
+        payload: Optional[dict] = None,
+        reply_to: Optional[int] = None,
+    ) -> Message:
+        """Fire-and-forget send; returns the message (for its id)."""
+        msg = Message(
+            mtype,
+            self.node_id,
+            dst,
+            payload or {},
+            clock=self.clock.tfa_clock,
+            reply_to=reply_to,
+        )
+        self.network.send(msg)
+        return msg
+
+    def reply(self, to: Message, mtype: MessageType, payload: Optional[dict] = None) -> Message:
+        """Answer a request message."""
+        return self.send(to.src, mtype, payload, reply_to=to.msg_id)
+
+    def request(
+        self,
+        dst: int,
+        mtype: MessageType,
+        payload: Optional[dict] = None,
+        reply_timeout: Optional[float] = None,
+    ) -> Generator[Any, Any, Message]:
+        """Blocking RPC (generator; use with ``yield from``).
+
+        Returns the reply :class:`Message`; raises :class:`RpcError` if
+        ``reply_timeout`` elapses first.
+        """
+        msg = self.send(dst, mtype, payload)
+        waiter = self.env.event()
+        self._pending_replies[msg.msg_id] = waiter
+        if reply_timeout is None:
+            reply = yield waiter
+            return reply
+        expiry = self.env.timeout(reply_timeout)
+        outcome = yield (waiter | expiry)
+        if waiter in outcome:
+            return outcome[waiter]
+        self._pending_replies.pop(msg.msg_id, None)
+        raise RpcError(
+            f"node {self.node_id}: no reply to {mtype.value} from node {dst} "
+            f"within {reply_timeout}"
+        )
+
+    # -- local time -------------------------------------------------------------------
+
+    @property
+    def now_local(self) -> float:
+        """This node's wall-clock reading (skewed/drifting)."""
+        return self.clock.wall_time(self.env.now)
+
+    def __repr__(self) -> str:
+        return f"<Node {self.node_id} tfa_clock={self.clock.tfa_clock}>"

@@ -1,0 +1,78 @@
+"""Adaptive CL-threshold controller.
+
+§III-B: "The threshold of a low or high CL relies on the number of nodes,
+transactions, and shared objects.  Thus, the CL's threshold is adaptively
+determined ... at a certain point of the CL's threshold, we observe a peak
+point of transactional throughput."
+
+We realise the adaptation as 1-D hill climbing on observed commit
+throughput: time is sliced into epochs; at each epoch boundary the
+controller compares this epoch's commit rate with the previous one and
+keeps moving the threshold in the same direction while throughput improves,
+reversing direction when it degrades.  This finds (and then hovers around)
+the paper's peak point without any global knowledge.
+"""
+
+from __future__ import annotations
+
+__all__ = ["AdaptiveThreshold"]
+
+
+class AdaptiveThreshold:
+    """Hill-climbing threshold in ``[min_threshold, max_threshold]``."""
+
+    def __init__(
+        self,
+        initial: int = 3,
+        min_threshold: int = 1,
+        max_threshold: int = 16,
+        epoch: float = 2.0,
+    ) -> None:
+        if not min_threshold <= initial <= max_threshold:
+            raise ValueError(
+                f"need min <= initial <= max, got {min_threshold} <= {initial} <= {max_threshold}"
+            )
+        if epoch <= 0:
+            raise ValueError(f"epoch must be positive, got {epoch}")
+        self.min_threshold = min_threshold
+        self.max_threshold = max_threshold
+        self.epoch = float(epoch)
+        self._threshold = int(initial)
+        self._direction = 1
+        self._epoch_start = 0.0
+        self._epoch_commits = 0
+        self._last_rate: float | None = None
+        #: number of completed adaptation steps (diagnostics)
+        self.adjustments = 0
+
+    @property
+    def current(self) -> int:
+        return self._threshold
+
+    def note_commit(self, now: float) -> None:
+        """Feed one commit; may close the epoch and adjust the threshold."""
+        self._epoch_commits += 1
+        self._maybe_adjust(now)
+
+    def _maybe_adjust(self, now: float) -> None:
+        span = now - self._epoch_start
+        if span < self.epoch:
+            return
+        rate = self._epoch_commits / span
+        if self._last_rate is not None:
+            if rate < self._last_rate:
+                self._direction = -self._direction
+            step = self._direction
+            self._threshold = max(
+                self.min_threshold, min(self.max_threshold, self._threshold + step)
+            )
+            self.adjustments += 1
+        self._last_rate = rate
+        self._epoch_start = now
+        self._epoch_commits = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<AdaptiveThreshold t={self._threshold} dir={self._direction:+d} "
+            f"adjustments={self.adjustments}>"
+        )

@@ -1,0 +1,59 @@
+"""Windowed contention-level (CL) tracking.
+
+§III-A: the *local* CL of an object is how many transactions have
+requested it during a given time period; the *remote* CL of a request is
+the requester's ``myCL`` — the summed local CLs of the objects it already
+holds (piggybacked in the request message).  The total CL handed to the
+enqueue-or-abort test is local + remote.
+
+:class:`ContentionTracker` implements the local part: per object, a
+sliding window of distinct requesting root transactions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Tuple
+
+__all__ = ["ContentionTracker"]
+
+
+class ContentionTracker:
+    """Distinct-requesters-per-window counter, one window per object."""
+
+    def __init__(self, window: float = 1.0) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.window = float(window)
+        self._requests: Dict[str, Deque[Tuple[float, str]]] = {}
+
+    def note_request(self, oid: str, txid: str, now: float) -> None:
+        """Record that root transaction ``txid`` requested ``oid``."""
+        dq = self._requests.get(oid)
+        if dq is None:
+            dq = deque()
+            self._requests[oid] = dq
+        dq.append((now, txid))
+        self._prune(dq, now)
+
+    def local_cl(self, oid: str, now: float) -> int:
+        """Distinct root transactions that requested ``oid`` in-window."""
+        dq = self._requests.get(oid)
+        if not dq:
+            return 0
+        self._prune(dq, now)
+        return len({txid for _, txid in dq})
+
+    def _prune(self, dq: Deque[Tuple[float, str]], now: float) -> None:
+        horizon = now - self.window
+        while dq and dq[0][0] < horizon:
+            dq.popleft()
+
+    def forget(self, oid: str) -> None:
+        self._requests.pop(oid, None)
+
+    def tracked_objects(self) -> int:
+        return len(self._requests)
+
+    def __repr__(self) -> str:
+        return f"<ContentionTracker window={self.window} objects={len(self._requests)}>"

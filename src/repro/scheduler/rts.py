@@ -1,0 +1,176 @@
+"""The Reactive Transactional Scheduler (RTS) — the paper's contribution.
+
+Owner-side decision procedure (Algorithm 3), executed whenever a retrieve
+request hits an object that is in use or validating:
+
+1. ``removeDuplicate`` — if the requester was already queued (it timed out
+   and re-requested), drop the stale entry first.
+2. **Execution-time test** — only a parent transaction that has already
+   invested enough work is worth parking: the requester is eligible for
+   enqueueing iff the object's current backlog ``bk`` is smaller than the
+   requester's elapsed execution time ``|ETS.r − ETS.s|``.  A short-running
+   transaction is cheap to redo, so it aborts (§III-A: "RTS aborts a parent
+   transaction with a short execution time").
+3. **Contention test** — compute the total contention level
+   ``CL = queue length (+1 for this requester) + myCL`` and enqueue only
+   when it stays below the CL threshold; a high CL means the objects this
+   transaction is using are themselves wanted, and parking it would pile
+   up queueing delay (§III-A: "RTS enqueues a parent transaction with a
+   low CL").
+4. An enqueued requester is granted backoff ``bk + |ETS.c − ETS.r|``
+   *before* the backlog is bumped by its own expected remaining time for
+   writers — readers do not serialise behind each other (the committed
+   object is multicast to all of them), so they get the current backlog
+   only and do not bump it.
+
+Requester-side (Algorithm 2): an enqueued transaction waits for an object
+hand-off, racing its backoff budget; expiry aborts the root transaction
+(reason ``BACKOFF_EXPIRED``).  Retries after *any* abort restart
+immediately — RTS stalls live transactions in queues, not dead ones.
+
+The CL threshold is fixed or adaptive (:class:`AdaptiveThreshold`
+hill-climbs to the paper's throughput peak).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.dstm.errors import AbortReason
+from repro.dstm.objects import ObjectMode
+from repro.dstm.transaction import Transaction
+from repro.scheduler.adaptive import AdaptiveThreshold
+from repro.scheduler.base import ConflictContext, ConflictDecision, SchedulerPolicy
+from repro.scheduler.contention_level import ContentionTracker
+from repro.scheduler.queues import Requester
+
+__all__ = ["RtsScheduler"]
+
+
+class RtsScheduler(SchedulerPolicy):
+    """Reactive transactional scheduling for closed-nested transactions."""
+
+    name = "rts"
+
+    def __init__(
+        self,
+        cl_threshold: Union[int, AdaptiveThreshold, None] = None,
+        contention_window: float = 1.0,
+        min_enqueue_backoff: float = 1e-3,
+        max_backoff: float = 2.0,
+        backoff_safety: float = 2.0,
+        admission: str = "paper",
+    ) -> None:
+        super().__init__()
+        if cl_threshold is None:
+            cl_threshold = AdaptiveThreshold()
+        self._threshold = cl_threshold
+        self.contention = ContentionTracker(window=contention_window)
+        if min_enqueue_backoff <= 0 or max_backoff < min_enqueue_backoff:
+            raise ValueError(
+                f"need 0 < min_enqueue_backoff <= max_backoff, got "
+                f"{min_enqueue_backoff}, {max_backoff}"
+            )
+        self.min_enqueue_backoff = float(min_enqueue_backoff)
+        self.max_backoff = float(max_backoff)
+        if backoff_safety < 1.0:
+            raise ValueError(f"backoff_safety must be >= 1, got {backoff_safety}")
+        self.backoff_safety = float(backoff_safety)
+        if admission not in ("paper", "economic"):
+            raise ValueError(f"admission must be 'paper' or 'economic', got {admission!r}")
+        self.admission = admission
+        # Decision counters (diagnostics + tests)
+        self.enqueued = 0
+        self.rejected_short_exec = 0
+        self.rejected_high_cl = 0
+
+    # -- threshold -------------------------------------------------------------
+
+    @property
+    def cl_threshold(self) -> int:
+        if isinstance(self._threshold, AdaptiveThreshold):
+            return self._threshold.current
+        return int(self._threshold)
+
+    @property
+    def adaptive(self) -> Optional[AdaptiveThreshold]:
+        return self._threshold if isinstance(self._threshold, AdaptiveThreshold) else None
+
+    # -- owner side --------------------------------------------------------------
+
+    def on_request(self, oid: str, root_txid: str, now_local: float) -> None:
+        self.contention.note_request(oid, root_txid, now_local)
+
+    def on_conflict(self, ctx: ConflictContext) -> ConflictDecision:
+        queue = ctx.queue
+
+        # Execution-time test (Algorithm 3 line 11; rationale in §III-A:
+        # "if a parent transaction with a short execution time is
+        # enqueued, the queuing delay may exceed its execution time").
+        # Two calibrations of the same idea:
+        #  * "paper"    — the literal `bk < |ETS.r - ETS.s|`: only the
+        #    queued backlog counts against the requester.  Maximises the
+        #    abort/communication economy Table I reports.
+        #  * "economic" — also charges the current validator's remaining
+        #    time, so early-stage transactions fail fast like plain TFA.
+        #    Maximises worst-case throughput at the cost of more aborts.
+        expected_wait = queue.bk
+        if self.admission == "economic":
+            expected_wait += ctx.holder_remaining
+        if expected_wait >= ctx.ets.elapsed:
+            self.rejected_short_exec += 1
+            return ConflictDecision.abort()
+
+        # Contention test: queued transactions + this requester + its myCL.
+        contention = queue.get_contention() + 1 + max(0, ctx.requester_cl)
+        if contention >= self.cl_threshold:
+            self.rejected_high_cl += 1
+            return ConflictDecision.abort()
+
+        # §III-B: the head of the queue waits out the validator
+        # (|t7 − t4|); later writers additionally wait out the expected
+        # execution of everything queued ahead (bk).  The safety factor
+        # absorbs the heavy tail of hold times — an expired backoff costs
+        # a full abort-or-re-request cycle, so undershooting is the
+        # expensive direction.
+        backoff = (ctx.holder_remaining + queue.bk) * self.backoff_safety
+        backoff = min(self.max_backoff, max(self.min_enqueue_backoff, backoff))
+        if ctx.mode is ObjectMode.ACQUIRE:
+            # Acquirers serialise: the next one waits behind this one too.
+            queue.bk += ctx.ets.expected_remaining
+        queue.add_requester(
+            contention,
+            Requester(
+                node=ctx.requester_node,
+                txid=ctx.requester_txid,
+                mode=ctx.mode,
+                ets=ctx.ets,
+                enqueued_at=ctx.now_local,
+                backoff=backoff,
+            ),
+        )
+        self.enqueued += 1
+        return ConflictDecision.enqueue(backoff)
+
+    # -- requester side ------------------------------------------------------------
+
+    def retry_backoff(self, root: Transaction, reason: AbortReason, attempt: int) -> float:
+        # RTS parks live transactions in owner-side queues; dead ones
+        # restart immediately.
+        return 0.0
+
+    # -- feedback -------------------------------------------------------------------
+
+    def note_commit_time(self, now: float) -> None:
+        """Feed the adaptive controller with wall-clock commit instants.
+
+        (Called by the proxy, which knows the node's local clock; kept
+        separate from :meth:`on_commit` whose ``duration`` argument is a
+        latency, not a timestamp.)
+        """
+        adaptive = self.adaptive
+        if adaptive is not None:
+            adaptive.note_commit(now)
+
+    def local_cl(self, oid: str, now: float) -> int:
+        return self.contention.local_cl(oid, now)

@@ -1,0 +1,27 @@
+"""Plain TFA: no transactional scheduler.
+
+This is the "TFA" competitor in §IV: when a request hits a busy object the
+requester's root transaction simply aborts and restarts immediately,
+re-requesting *all* of its objects (closed-nested children included) —
+Lemma 3.2's cost model.
+"""
+
+from __future__ import annotations
+
+from repro.dstm.errors import AbortReason
+from repro.dstm.transaction import Transaction
+from repro.scheduler.base import ConflictContext, ConflictDecision, SchedulerPolicy
+
+__all__ = ["TfaScheduler"]
+
+
+class TfaScheduler(SchedulerPolicy):
+    """Abort the loser; retry with zero stall."""
+
+    name = "tfa"
+
+    def on_conflict(self, ctx: ConflictContext) -> ConflictDecision:
+        return ConflictDecision.abort()
+
+    def retry_backoff(self, root: Transaction, reason: AbortReason, attempt: int) -> float:
+        return 0.0

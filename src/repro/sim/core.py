@@ -1,0 +1,177 @@
+"""The event loop: :class:`Environment`.
+
+The environment owns the simulated clock and the pending-event heap.  Heap
+entries are keyed ``(time, priority, sequence)``; the monotonically increasing
+sequence number makes processing order — and therefore every simulation in
+this repository — fully deterministic.
+
+Typical use::
+
+    env = Environment()
+
+    def worker(env, duration):
+        yield env.timeout(duration)
+        return duration * 2
+
+    proc = env.process(worker(env, 5.0))
+    env.run()
+    assert env.now == 5.0 and proc.value == 10.0
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable, Optional
+
+from repro.sim.events import (
+    AllOf,
+    AnyOf,
+    Event,
+    Timeout,
+    PRIORITY_NORMAL,
+)
+from repro.sim.process import Process
+
+__all__ = ["Environment", "SimulationError", "EmptySchedule"]
+
+
+class SimulationError(RuntimeError):
+    """Base class for kernel-level errors."""
+
+
+class EmptySchedule(SimulationError):
+    """Raised by :meth:`Environment.step` when no events remain."""
+
+
+class Environment:
+    """A deterministic discrete-event simulation environment."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        #: number of events processed so far (useful for progress/limits)
+        self.events_processed = 0
+
+    # -- clock ---------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    # -- event factories -------------------------------------------------------
+
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self,
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ) -> Process:
+        """Start a new process running ``generator``."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- scheduling (kernel-internal) ------------------------------------------
+
+    def _enqueue(self, delay: float, priority: int, event: Event) -> None:
+        if event._scheduled:
+            raise SimulationError(f"{event!r} scheduled twice")
+        event._scheduled = True
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+
+    # -- execution ----------------------------------------------------------------
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` when none remain."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event.
+
+        Raises :class:`EmptySchedule` when the heap is empty, and re-raises
+        the exception of any *failed* event that no process consumed (an
+        uncaught failure anywhere in the simulation should crash the run
+        loudly, never vanish).
+        """
+        if not self._heap:
+            raise EmptySchedule("no events scheduled")
+        when, _prio, _seq, event = heapq.heappop(self._heap)
+        self._now = when
+        self.events_processed += 1
+
+        if not event.triggered:
+            # Auto-firing event (Timeout): materialise its value now.
+            event._ok = True
+            event._value = getattr(event, "_fire_value", None)
+
+        callbacks = event.callbacks
+        event.callbacks = None  # late add_callback() now runs synchronously
+        event._processed = True
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not getattr(event, "_defused", True):
+            raise event._value
+
+    def run(
+        self,
+        until: Optional[float | Event] = None,
+        max_events: Optional[int] = None,
+    ) -> Any:
+        """Run the simulation.
+
+        ``until`` may be a time (run until the clock would pass it), an
+        :class:`Event` (run until it is processed, returning its value), or
+        ``None`` (run the schedule dry).  ``max_events`` bounds the number of
+        processed events as a runaway guard.
+        """
+        stop_event: Optional[Event] = None
+        stop_time = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise ValueError(f"until={stop_time} is in the past (now={self._now})")
+
+        processed_at_start = self.events_processed
+        while self._heap:
+            if stop_event is not None and stop_event.processed:
+                break
+            if self.peek() > stop_time:
+                self._now = stop_time
+                break
+            if (
+                max_events is not None
+                and self.events_processed - processed_at_start >= max_events
+            ):
+                raise SimulationError(f"exceeded max_events={max_events}")
+            self.step()
+
+        if stop_event is not None:
+            if not stop_event.triggered:
+                raise SimulationError(
+                    "run(until=event) exhausted the schedule before the event fired"
+                )
+            if not stop_event.ok:
+                raise stop_event.value
+            return stop_event.value
+        if until is not None and stop_time != float("inf") and self._now < stop_time:
+            # Schedule ran dry before the horizon: advance to it for callers
+            # that compute rates over the requested window.
+            self._now = stop_time
+        return None

@@ -1,0 +1,97 @@
+"""Structured simulation tracing.
+
+The tracer records ``(time, category, subject, details)`` tuples.  It exists
+for three consumers: debugging (human-readable dumps), tests (asserting on
+protocol event orderings, e.g. "the object was handed to the queued requester
+before any fresh request was served"), and the determinism property test
+(identical seeds must produce identical traces).
+
+Tracing is off by default and filtered by category, so the hot path pays a
+single dict lookup when disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry."""
+
+    time: float
+    category: str
+    subject: str
+    details: Tuple[Tuple[str, Any], ...] = field(default_factory=tuple)
+
+    def detail(self, key: str, default: Any = None) -> Any:
+        for k, v in self.details:
+            if k == key:
+                return v
+        return default
+
+    def __str__(self) -> str:
+        kv = " ".join(f"{k}={v}" for k, v in self.details)
+        return f"[{self.time:12.6f}] {self.category:<12} {self.subject} {kv}".rstrip()
+
+
+class Tracer:
+    """Category-filtered, optionally bounded trace collector."""
+
+    def __init__(
+        self,
+        enabled: bool = False,
+        categories: Optional[Iterable[str]] = None,
+        max_records: Optional[int] = None,
+    ) -> None:
+        self.enabled = enabled
+        self._categories = set(categories) if categories is not None else None
+        self._max = max_records
+        self._records: List[TraceRecord] = []
+        self.dropped = 0
+
+    def wants(self, category: str) -> bool:
+        """Cheap guard callers can use to skip building detail tuples."""
+        if not self.enabled:
+            return False
+        return self._categories is None or category in self._categories
+
+    def emit(self, time: float, category: str, subject: str, **details: Any) -> None:
+        if not self.wants(category):
+            return
+        if self._max is not None and len(self._records) >= self._max:
+            self.dropped += 1
+            return
+        self._records.append(
+            TraceRecord(time, category, subject, tuple(sorted(details.items())))
+        )
+
+    def records(self, category: Optional[str] = None) -> List[TraceRecord]:
+        if category is None:
+            return list(self._records)
+        return [r for r in self._records if r.category == category]
+
+    def categories(self) -> Dict[str, int]:
+        """Histogram of record counts per category."""
+        out: Dict[str, int] = {}
+        for r in self._records:
+            out[r.category] = out.get(r.category, 0) + 1
+        return out
+
+    def clear(self) -> None:
+        self._records.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def dump(self, limit: Optional[int] = None) -> str:
+        """Human-readable multi-line rendering (for debugging sessions)."""
+        rows = self._records if limit is None else self._records[:limit]
+        return "\n".join(str(r) for r in rows)

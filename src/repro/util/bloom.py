@@ -1,0 +1,116 @@
+"""A classic Bloom filter (Bloom, CACM 1970 — the paper's reference [5]).
+
+RTS's transaction stats table stores "a bloom filter representation of the
+most current successful commit times of write transactions" (§III-B).  We
+use this filter for that digest: commit durations are bucketed and the
+bucket labels inserted, giving a compact membership structure with no false
+negatives.
+
+The implementation is pure-Python over an ``int`` bitset (arbitrary
+precision, branch-free set/test) with double hashing — the standard
+Kirsch–Mitzenmacher construction ``h_i(x) = h1(x) + i * h2(x)``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Any, Iterable
+
+__all__ = ["BloomFilter"]
+
+
+def _hash_pair(item: bytes) -> tuple[int, int]:
+    """Two independent 64-bit hashes of ``item`` (blake2b split in half)."""
+    digest = hashlib.blake2b(item, digest_size=16).digest()
+    return (
+        int.from_bytes(digest[:8], "little"),
+        int.from_bytes(digest[8:], "little") | 1,  # ensure odd => full period
+    )
+
+
+def _to_bytes(item: Any) -> bytes:
+    if isinstance(item, bytes):
+        return item
+    if isinstance(item, str):
+        return item.encode("utf-8")
+    if isinstance(item, bool):
+        return b"b1" if item else b"b0"
+    if isinstance(item, int):
+        return b"i" + item.to_bytes((item.bit_length() + 8) // 8 + 1, "little", signed=True)
+    if isinstance(item, float):
+        return b"f" + repr(item).encode("ascii")
+    if isinstance(item, tuple):
+        return b"(" + b",".join(_to_bytes(x) for x in item) + b")"
+    raise TypeError(f"unhashable item type for BloomFilter: {type(item).__name__}")
+
+
+class BloomFilter:
+    """Probabilistic set membership with tunable false-positive rate.
+
+    ``BloomFilter(capacity, error_rate)`` sizes the bit array and hash count
+    optimally for ``capacity`` insertions at the target ``error_rate``:
+    ``m = -n ln p / (ln 2)^2`` bits and ``k = m/n ln 2`` hashes.
+    """
+
+    __slots__ = ("num_bits", "num_hashes", "capacity", "error_rate", "_bits", "count")
+
+    def __init__(self, capacity: int = 128, error_rate: float = 0.01) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if not 0.0 < error_rate < 1.0:
+            raise ValueError(f"error_rate must be in (0, 1), got {error_rate}")
+        self.capacity = capacity
+        self.error_rate = error_rate
+        self.num_bits = max(8, int(math.ceil(-capacity * math.log(error_rate) / (math.log(2) ** 2))))
+        self.num_hashes = max(1, int(round(self.num_bits / capacity * math.log(2))))
+        self._bits = 0
+        #: number of insertions performed (not distinct items)
+        self.count = 0
+
+    def _positions(self, item: Any) -> Iterable[int]:
+        h1, h2 = _hash_pair(_to_bytes(item))
+        m = self.num_bits
+        for i in range(self.num_hashes):
+            yield (h1 + i * h2) % m
+
+    def add(self, item: Any) -> None:
+        """Insert ``item``."""
+        for pos in self._positions(item):
+            self._bits |= 1 << pos
+        self.count += 1
+
+    def __contains__(self, item: Any) -> bool:
+        return all(self._bits >> pos & 1 for pos in self._positions(item))
+
+    def clear(self) -> None:
+        self._bits = 0
+        self.count = 0
+
+    @property
+    def bits_set(self) -> int:
+        """Population count of the underlying bit array."""
+        return bin(self._bits).count("1")
+
+    @property
+    def fill_ratio(self) -> float:
+        return self.bits_set / self.num_bits
+
+    def estimated_false_positive_rate(self) -> float:
+        """Current FP probability given the observed fill ratio."""
+        return self.fill_ratio ** self.num_hashes
+
+    def union(self, other: "BloomFilter") -> "BloomFilter":
+        """Bitwise union; both filters must share geometry."""
+        if (self.num_bits, self.num_hashes) != (other.num_bits, other.num_hashes):
+            raise ValueError("cannot union Bloom filters with different geometry")
+        out = BloomFilter(self.capacity, self.error_rate)
+        out._bits = self._bits | other._bits
+        out.count = self.count + other.count
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"<BloomFilter m={self.num_bits} k={self.num_hashes} "
+            f"n={self.count} fill={self.fill_ratio:.3f}>"
+        )

@@ -1,0 +1,77 @@
+"""Fixed-bin histogram with text rendering (for experiment reports)."""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["Histogram"]
+
+
+class Histogram:
+    """Values bucketed into uniform bins over [lo, hi] plus under/overflow."""
+
+    __slots__ = ("name", "lo", "hi", "bins", "_counts", "underflow", "overflow", "count")
+
+    def __init__(self, name: str, lo: float, hi: float, bins: int = 20) -> None:
+        if not lo < hi:
+            raise ValueError(f"need lo < hi, got [{lo}, {hi}]")
+        if bins < 1:
+            raise ValueError(f"need >= 1 bin, got {bins}")
+        self.name = name
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self.bins = bins
+        self._counts = [0] * bins
+        self.underflow = 0
+        self.overflow = 0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        if value < self.lo:
+            self.underflow += 1
+        elif value >= self.hi:
+            self.overflow += 1
+        else:
+            idx = int((value - self.lo) / (self.hi - self.lo) * self.bins)
+            self._counts[min(idx, self.bins - 1)] += 1
+
+    @property
+    def counts(self) -> List[int]:
+        return list(self._counts)
+
+    def bin_edges(self) -> List[Tuple[float, float]]:
+        width = (self.hi - self.lo) / self.bins
+        return [(self.lo + i * width, self.lo + (i + 1) * width) for i in range(self.bins)]
+
+    def mode_bin(self) -> Optional[Tuple[float, float]]:
+        """Edges of the most populated bin (None when empty)."""
+        if not any(self._counts):
+            return None
+        idx = max(range(self.bins), key=self._counts.__getitem__)
+        return self.bin_edges()[idx]
+
+    def render(self, width: int = 40) -> str:
+        """ASCII rendering, one line per bin."""
+        peak = max(self._counts) if any(self._counts) else 1
+        lines = [f"{self.name} (n={self.count}, under={self.underflow}, over={self.overflow})"]
+        for (lo, hi), c in zip(self.bin_edges(), self._counts):
+            bar = "#" * int(math.ceil(c / peak * width)) if c else ""
+            lines.append(f"  [{lo:10.4g}, {hi:10.4g}) {c:8d} {bar}")
+        return "\n".join(lines)
+
+    @classmethod
+    def from_samples(
+        cls, name: str, samples: Sequence[float], bins: int = 20
+    ) -> "Histogram":
+        """Auto-ranged histogram over ``samples`` (requires non-empty input)."""
+        if not samples:
+            raise ValueError("cannot auto-range an empty sample set")
+        lo, hi = min(samples), max(samples)
+        if lo == hi:
+            hi = lo + 1.0
+        hist = cls(name, lo, hi + 1e-12, bins)
+        for s in samples:
+            hist.observe(s)
+        return hist

@@ -1,0 +1,37 @@
+"""The paper's six evaluation benchmarks (§IV-A), rebuilt on the public API.
+
+* :mod:`repro.workloads.bank` — Bank, the monetary application;
+* :mod:`repro.workloads.vacation` — distributed port of STAMP's Vacation
+  travel-reservation system;
+* :mod:`repro.workloads.linkedlist` — sorted Linked-List set;
+* :mod:`repro.workloads.bst` — Binary Search Tree set;
+* :mod:`repro.workloads.rbtree` — Red/Black Tree set (full rebalancing);
+* :mod:`repro.workloads.dht` — Distributed Hash Table.
+
+Each workload allocates "five to ten shared objects at each node" (§IV-A)
+scaled by node count, issues write transactions structured as a parent
+with closed-nested children, and exposes the low/high-contention read
+mixes (90% / 10% read transactions).
+"""
+
+from repro.workloads.base import Op, Workload
+from repro.workloads.bank import BankWorkload
+from repro.workloads.bst import BstWorkload
+from repro.workloads.dht import DhtWorkload
+from repro.workloads.linkedlist import LinkedListWorkload
+from repro.workloads.rbtree import RbTreeWorkload
+from repro.workloads.registry import WORKLOADS, make_workload
+from repro.workloads.vacation import VacationWorkload
+
+__all__ = [
+    "BankWorkload",
+    "BstWorkload",
+    "DhtWorkload",
+    "LinkedListWorkload",
+    "Op",
+    "RbTreeWorkload",
+    "VacationWorkload",
+    "WORKLOADS",
+    "Workload",
+    "make_workload",
+]

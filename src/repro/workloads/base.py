@@ -1,0 +1,96 @@
+"""Workload interface.
+
+A workload owns its shared objects (created in :meth:`Workload.setup`) and
+produces operations: transaction bodies plus metadata.  ``read_fraction``
+realises the paper's contention knob — 0.9 = low contention (90% read
+transactions), 0.1 = high contention.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Tuple
+
+import numpy as np
+
+from repro.core.cluster import Cluster
+
+__all__ = ["Op", "Workload"]
+
+
+def zipf_choice(
+    rng: np.random.Generator, n: int, s: float, size: int = 1,
+    replace: bool = True,
+) -> np.ndarray:
+    """Draw indices from a bounded Zipf(s) distribution over [0, n).
+
+    ``s = 0`` is uniform; larger ``s`` concentrates the mass on low
+    indices (hot spots).  Unlike ``rng.zipf`` the support is bounded, so
+    it is usable for key selection directly.
+    """
+    if n < 1:
+        raise ValueError(f"need n >= 1, got {n}")
+    if s < 0:
+        raise ValueError(f"need s >= 0, got {s}")
+    if s == 0:
+        return rng.choice(n, size=size, replace=replace)
+    weights = 1.0 / np.power(np.arange(1, n + 1), s)
+    weights /= weights.sum()
+    return rng.choice(n, size=size, replace=replace, p=weights)
+
+
+@dataclass
+class Op:
+    """One operation drawn from a workload's mix."""
+
+    body: Callable[..., Generator]
+    args: Tuple[Any, ...]
+    profile: str
+    is_read: bool
+
+
+class Workload(abc.ABC):
+    """Base class for the six benchmarks."""
+
+    #: short machine name ("bank", "vacation", ...)
+    name: str = "base"
+
+    def __init__(self, read_fraction: float = 0.9) -> None:
+        if not 0.0 <= read_fraction <= 1.0:
+            raise ValueError(f"read_fraction must be in [0, 1], got {read_fraction}")
+        self.read_fraction = float(read_fraction)
+        self._setup_done = False
+
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def create_objects(self, cluster: Cluster, rng: np.random.Generator) -> None:
+        """Allocate the shared objects (called once)."""
+
+    @abc.abstractmethod
+    def make_read_op(self, node: int, rng: np.random.Generator) -> Op:
+        """Draw a read-only transaction."""
+
+    @abc.abstractmethod
+    def make_write_op(self, node: int, rng: np.random.Generator) -> Op:
+        """Draw a write transaction (parent + closed-nested children)."""
+
+    # ------------------------------------------------------------------
+
+    def setup(self, cluster: Cluster, rng: np.random.Generator) -> None:
+        if self._setup_done:
+            raise RuntimeError(f"workload {self.name} set up twice")
+        self.create_objects(cluster, rng)
+        self._setup_done = True
+
+    def make_op(self, node: int, rng: np.random.Generator) -> Op:
+        """Draw from the read/write mix."""
+        if not self._setup_done:
+            raise RuntimeError(f"workload {self.name} used before setup()")
+        if rng.random() < self.read_fraction:
+            return self.make_read_op(node, rng)
+        return self.make_write_op(node, rng)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} read={self.read_fraction:.0%}>"

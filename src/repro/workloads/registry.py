@@ -1,0 +1,50 @@
+"""Workload registry: name -> constructor (the six paper benchmarks)."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from repro.workloads.base import Workload
+
+__all__ = ["WORKLOADS", "make_workload", "register"]
+
+WORKLOADS: Dict[str, Callable[..., Workload]] = {}
+
+
+def register(name: str, factory: Callable[..., Workload]) -> None:
+    if name in WORKLOADS:
+        raise ValueError(f"workload {name!r} already registered")
+    WORKLOADS[name] = factory
+
+
+def make_workload(name: str, **kwargs: Any) -> Workload:
+    """Build a workload by short name ('bank', 'vacation', 'll', ...)."""
+    try:
+        factory = WORKLOADS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; available: {sorted(WORKLOADS)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def _populate() -> None:
+    # Imports deferred to avoid circular imports at package-load time.
+    from repro.workloads.bank import BankWorkload
+    from repro.workloads.bst import BstWorkload
+    from repro.workloads.dht import DhtWorkload
+    from repro.workloads.linkedlist import LinkedListWorkload
+    from repro.workloads.rbtree import RbTreeWorkload
+    from repro.workloads.vacation import VacationWorkload
+
+    register("bank", BankWorkload)
+    register("vacation", VacationWorkload)
+    register("ll", LinkedListWorkload)
+    register("linkedlist", LinkedListWorkload)
+    register("bst", BstWorkload)
+    register("rbtree", RbTreeWorkload)
+    register("rb", RbTreeWorkload)
+    register("dht", DhtWorkload)
+
+
+_populate()

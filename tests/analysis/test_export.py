@@ -1,0 +1,80 @@
+"""Unit tests for the results exporter."""
+
+import csv
+import json
+
+import pytest
+
+from repro.analysis.export import export_figure, export_rows, figure_to_rows
+from repro.analysis.figures import FigureData
+
+
+@pytest.fixture
+def rows():
+    return [
+        {"benchmark": "bank", "throughput": 12.5},
+        {"benchmark": "dht", "throughput": 99.0, "aborts": 3},
+    ]
+
+
+class TestExportRows:
+    def test_json_roundtrip(self, rows, tmp_path):
+        out = export_rows(rows, tmp_path / "r.json")
+        assert json.loads(out.read_text()) == rows
+
+    def test_csv_union_columns(self, rows, tmp_path):
+        out = export_rows(rows, tmp_path / "r.csv")
+        with out.open() as fh:
+            parsed = list(csv.DictReader(fh))
+        assert parsed[0]["benchmark"] == "bank"
+        assert parsed[0]["aborts"] == ""  # missing key -> empty cell
+        assert parsed[1]["aborts"] == "3"
+
+    def test_format_inference_and_override(self, rows, tmp_path):
+        out = export_rows(rows, tmp_path / "data.txt", fmt="csv")
+        assert "benchmark" in out.read_text().splitlines()[0]
+
+    def test_unknown_format_rejected(self, rows, tmp_path):
+        with pytest.raises(ValueError):
+            export_rows(rows, tmp_path / "r.xml", fmt="xml")
+
+    def test_creates_parent_directories(self, rows, tmp_path):
+        out = export_rows(rows, tmp_path / "a" / "b" / "r.json")
+        assert out.exists()
+
+    def test_suffixless_path_defaults_to_json(self, rows, tmp_path):
+        out = export_rows(rows, tmp_path / "plain")
+        assert json.loads(out.read_text()) == rows
+
+
+class TestFigureExport:
+    def _figure(self):
+        data = FigureData(figure="fig4", contention="low", node_counts=(4, 8))
+        data.series["bank"] = {"rts": [10.0, 20.0], "tfa": [9.0, 18.0]}
+        return data
+
+    def test_long_format_rows(self):
+        rows = figure_to_rows(self._figure())
+        assert len(rows) == 4
+        assert rows[0] == {
+            "figure": "fig4", "contention": "low", "benchmark": "bank",
+            "scheduler": "rts", "nodes": 4, "throughput": 10.0,
+        }
+
+    def test_export_figure_csv(self, tmp_path):
+        out = export_figure(self._figure(), tmp_path / "fig.csv")
+        with out.open() as fh:
+            parsed = list(csv.DictReader(fh))
+        assert len(parsed) == 4
+        assert {r["scheduler"] for r in parsed} == {"rts", "tfa"}
+
+
+class TestCliIntegration:
+    def test_export_dir_writes_json(self, tmp_path, capsys):
+        from repro.analysis.reproduce import main
+
+        rc = main(["table1", "--scale", "smoke", "--benchmarks", "dht",
+                   "--export-dir", str(tmp_path)])
+        assert rc == 0
+        exported = json.loads((tmp_path / "table1.json").read_text())
+        assert exported[0]["benchmark"] == "dht"

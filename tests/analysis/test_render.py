@@ -1,0 +1,76 @@
+"""Unit tests for the text renderers."""
+
+from repro.analysis.render import render_series, render_table
+
+
+class TestRenderTable:
+    def test_empty(self):
+        assert "(no data)" in render_table([])
+        assert render_table([], title="T").startswith("T")
+
+    def test_alignment_and_content(self):
+        rows = [
+            {"name": "alpha", "value": 1.23456},
+            {"name": "b", "value": 10},
+        ]
+        text = render_table(rows, title="My Table")
+        lines = text.splitlines()
+        assert lines[0] == "My Table"
+        assert "alpha" in text and "1.23" in text
+        # header separator present
+        assert set(lines[2]) <= {"-", "+"}
+
+    def test_column_selection_and_missing_values(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        text = render_table(rows, columns=["b", "a"])
+        header = text.splitlines()[0]
+        assert header.index("b") < header.index("a")
+
+    def test_float_formatting(self):
+        text = render_table([{"x": 0.123456}])
+        assert "0.12" in text
+
+
+class TestRenderSeries:
+    def test_series_rows(self):
+        text = render_series(
+            "Throughput", "nodes", [4, 8],
+            {"rts": [10.0, 20.0], "tfa": [9.0, 15.0]},
+        )
+        assert "Throughput" in text
+        assert "nodes" in text
+        assert "20.00" in text
+
+    def test_short_series_padded(self):
+        text = render_series("T", "x", [1, 2], {"s": [5.0]})
+        assert text  # no crash on missing tail values
+
+
+class TestAsciiChart:
+    def test_chart_contains_markers_and_legend(self):
+        from repro.analysis.render import render_ascii_chart
+
+        text = render_ascii_chart(
+            "demo", [1, 2], {"rts": [1.0, 2.0], "tfa": [0.5, 1.0]}
+        )
+        assert "R=rts" in text and "T=tfa" in text
+        assert "R" in text.splitlines()[2] or any(
+            "R" in line for line in text.splitlines()
+        )
+
+    def test_chart_overlap_marker(self):
+        from repro.analysis.render import render_ascii_chart
+
+        text = render_ascii_chart("demo", [1], {"a": [5.0], "b": [5.0]})
+        assert "*" in text
+
+    def test_chart_empty_series(self):
+        from repro.analysis.render import render_ascii_chart
+
+        assert "(no data)" in render_ascii_chart("t", [], {})
+
+    def test_chart_constant_values(self):
+        from repro.analysis.render import render_ascii_chart
+
+        text = render_ascii_chart("t", [1, 2, 3], {"s": [4.0, 4.0, 4.0]})
+        assert "S=s" in text

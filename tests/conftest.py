@@ -1,0 +1,17 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.sim import Environment, RngRegistry
+
+
+@pytest.fixture
+def env() -> Environment:
+    """A fresh simulation environment."""
+    return Environment()
+
+
+@pytest.fixture
+def rngs() -> RngRegistry:
+    """A seeded random-stream registry (seed fixed for reproducibility)."""
+    return RngRegistry(seed=1234)

@@ -1,0 +1,185 @@
+"""Tests for open nesting (globally-committing children + compensations)."""
+
+import pytest
+
+from repro.core.api import Cluster
+from repro.core.config import ClusterConfig, SchedulerKind
+from repro.dstm.errors import TransactionAborted
+
+
+def make_cluster(**kw):
+    defaults = dict(num_nodes=4, seed=23, scheduler=SchedulerKind.TFA)
+    defaults.update(kw)
+    return Cluster(ClusterConfig(**defaults))
+
+
+def bump(tx, oid, delta):
+    value = yield from tx.read(oid)
+    yield from tx.write(oid, value + delta)
+
+
+class TestOpenCommitVisibility:
+    def test_open_child_commits_before_parent(self):
+        """An open-nested child's effects are globally visible while the
+        parent is still running — the defining property of open nesting."""
+        cluster = make_cluster()
+        cluster.alloc("x", 0, node=0)
+        observed = {}
+
+        def parent(tx):
+            yield from tx.open_nested(bump, "x", 10, profile="open.bump")
+            # The child is committed: the shared object already changed.
+            observed["mid_parent"] = cluster.committed_value("x")
+            yield from tx.compute(1e-3)
+
+        cluster.run_transaction(parent, node=1)
+        assert observed["mid_parent"] == 10
+        assert cluster.committed_value("x") == 10
+
+    def test_open_child_result_returned(self):
+        cluster = make_cluster()
+        cluster.alloc("x", 5, node=0)
+
+        def child(tx):
+            v = yield from tx.read("x")
+            return v * 2
+
+        def parent(tx):
+            doubled = yield from tx.open_nested(child)
+            return doubled
+
+        assert cluster.run_transaction(parent, node=2) == 10
+
+    def test_open_child_does_not_join_parent_sets(self):
+        cluster = make_cluster()
+        cluster.alloc("x", 0, node=0)
+
+        def parent(tx):
+            yield from tx.open_nested(bump, "x", 1)
+            assert "x" not in tx.transaction.wset
+            assert "x" not in tx.transaction.rset
+
+        cluster.run_transaction(parent, node=1)
+
+
+class TestCompensations:
+    def test_parent_abort_runs_compensation(self):
+        cluster = make_cluster()
+        cluster.alloc("x", 100, node=0)
+
+        def parent(tx):
+            yield from tx.open_nested(
+                bump, "x", -30,
+                compensation=bump, compensation_args=("x", 30),
+            )
+            tx.abort("change of plans")
+
+        with pytest.raises(TransactionAborted):
+            cluster.run_transaction(parent, node=1)
+        # The debit committed globally, then the compensation restored it.
+        assert cluster.committed_value("x") == 100
+
+    def test_compensations_run_in_reverse_order(self):
+        cluster = make_cluster()
+        cluster.alloc("log", (), node=0)
+
+        def append(tx, tag):
+            log = yield from tx.read("log")
+            yield from tx.write("log", log + (tag,))
+
+        def parent(tx):
+            yield from tx.open_nested(append, "A",
+                                      compensation=append,
+                                      compensation_args=("undo-A",))
+            yield from tx.open_nested(append, "B",
+                                      compensation=append,
+                                      compensation_args=("undo-B",))
+            tx.abort()
+
+        with pytest.raises(TransactionAborted):
+            cluster.run_transaction(parent, node=1)
+        assert cluster.committed_value("log") == ("A", "B", "undo-B", "undo-A")
+
+    def test_commit_discards_compensations(self):
+        cluster = make_cluster()
+        cluster.alloc("x", 0, node=0)
+
+        def parent(tx):
+            yield from tx.open_nested(
+                bump, "x", 7, compensation=bump, compensation_args=("x", -7)
+            )
+
+        cluster.run_transaction(parent, node=1)
+        assert cluster.committed_value("x") == 7  # no compensation ran
+
+    def test_retry_compensates_then_reapplies(self):
+        """An aborted attempt undoes its open children; the retry applies
+        them again exactly once."""
+        cluster = make_cluster()
+        cluster.alloc("x", 0, node=0)
+        attempts = []
+
+        def parent(tx):
+            attempts.append(1)
+            yield from tx.open_nested(
+                bump, "x", 5, compensation=bump, compensation_args=("x", -5)
+            )
+            if len(attempts) == 1:
+                from repro.dstm.errors import AbortReason, TransactionAborted
+
+                raise TransactionAborted(
+                    tx.transaction.root, AbortReason.EARLY_VALIDATION
+                )
+
+        cluster.run_transaction(parent, node=1)
+        assert len(attempts) == 2
+        assert cluster.committed_value("x") == 5
+
+    def test_open_child_without_compensation_survives_abort(self):
+        cluster = make_cluster()
+        cluster.alloc("x", 0, node=0)
+
+        def parent(tx):
+            yield from tx.open_nested(bump, "x", 3)  # no compensation
+            tx.abort()
+
+        with pytest.raises(TransactionAborted):
+            cluster.run_transaction(parent, node=1)
+        assert cluster.committed_value("x") == 3  # stays committed
+
+
+class TestOpenNestingMetrics:
+    def test_open_children_count_as_their_own_commits(self):
+        cluster = make_cluster()
+        cluster.alloc("x", 0, node=0)
+
+        def parent(tx):
+            yield from tx.open_nested(bump, "x", 1)
+
+        cluster.run_transaction(parent, node=1)
+        # Two root commits: the open child and the parent.
+        assert cluster.metrics.commits.value == 2
+
+
+class TestOpenChildFailure:
+    def test_failed_open_child_aborts_enclosing_and_compensates(self):
+        """A definitively failed open child aborts the enclosing
+        transaction, whose earlier compensations then run."""
+        cluster = make_cluster()
+        cluster.alloc("x", 0, node=0)
+        cluster.alloc("broken", 0, node=2)
+
+        def failing(tx):
+            tx.abort("deliberate failure")
+            yield  # pragma: no cover
+
+        def parent(tx):
+            yield from tx.open_nested(
+                bump, "x", 4, compensation=bump, compensation_args=("x", -4)
+            )
+            yield from tx.open_nested(failing)
+
+        with pytest.raises(TransactionAborted) as excinfo:
+            cluster.run_transaction(parent, node=1)
+        assert "open-nested child failed" in str(excinfo.value)
+        assert cluster.committed_value("x") == 0  # compensated

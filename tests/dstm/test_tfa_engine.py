@@ -1,0 +1,334 @@
+"""Integration tests for the TFA engine through the public cluster API."""
+
+import pytest
+
+from repro.core.api import Cluster
+from repro.core.config import ClusterConfig, SchedulerKind
+from repro.dstm.errors import TransactionAborted, TransactionError
+from repro.dstm.objects import ObjectState
+
+
+def make_cluster(**kw):
+    defaults = dict(num_nodes=4, seed=7, scheduler=SchedulerKind.TFA)
+    defaults.update(kw)
+    return Cluster(ClusterConfig(**defaults))
+
+
+class TestBasicCommit:
+    def test_write_commit_updates_value(self):
+        cluster = make_cluster()
+        cluster.alloc("x", 1, node=0)
+
+        def body(tx):
+            yield from tx.write("x", 42)
+
+        cluster.run_transaction(body, node=1)
+        assert cluster.committed_value("x") == 42
+
+    def test_commit_returns_body_result(self):
+        cluster = make_cluster()
+        cluster.alloc("x", 10, node=0)
+
+        def body(tx):
+            v = yield from tx.read("x")
+            return v * 2
+
+        assert cluster.run_transaction(body, node=2) == 20
+
+    def test_read_your_own_writes(self):
+        cluster = make_cluster()
+        cluster.alloc("x", 1, node=0)
+
+        def body(tx):
+            yield from tx.write("x", 99)
+            return (yield from tx.read("x"))
+
+        assert cluster.run_transaction(body, node=1) == 99
+
+    def test_repeated_reads_stable(self):
+        cluster = make_cluster()
+        cluster.alloc("x", 5, node=0)
+
+        def body(tx):
+            a = yield from tx.read("x")
+            b = yield from tx.read("x")
+            return (a, b)
+
+        assert cluster.run_transaction(body, node=1) == (5, 5)
+
+    def test_sequential_transactions_see_committed_state(self):
+        cluster = make_cluster()
+        cluster.alloc("x", 0, node=0)
+
+        def increment(tx):
+            v = yield from tx.read("x")
+            yield from tx.write("x", v + 1)
+
+        for node in (1, 2, 3, 0):
+            cluster.run_transaction(increment, node=node)
+        assert cluster.committed_value("x") == 4
+
+    def test_version_bumps_once_per_commit(self):
+        cluster = make_cluster()
+        cluster.alloc("x", 0, node=0)
+
+        def body(tx):
+            yield from tx.write("x", 1)
+
+        cluster.run_transaction(body, node=1)
+        proxy = next(p for p in cluster.proxies if p.owns("x"))
+        assert proxy.store["x"].version == 1
+
+    def test_object_released_after_commit(self):
+        cluster = make_cluster()
+        cluster.alloc("x", 0, node=0)
+
+        def body(tx):
+            yield from tx.write("x", 1)
+
+        cluster.run_transaction(body, node=1)
+        proxy = next(p for p in cluster.proxies if p.owns("x"))
+        assert proxy.store["x"].state is ObjectState.FREE
+
+
+class TestOwnershipMigration:
+    def test_write_migrates_ownership(self):
+        cluster = make_cluster()
+        cluster.alloc("x", 0, node=0)
+
+        def body(tx):
+            yield from tx.write("x", 7)
+
+        cluster.run_transaction(body, node=2)
+        assert cluster.proxies[2].owns("x")
+        assert not cluster.proxies[0].owns("x")
+
+    def test_directory_tracks_new_owner_and_version(self):
+        cluster = make_cluster()
+        cluster.alloc("x", 0, node=0)
+
+        def body(tx):
+            yield from tx.write("x", 7)
+
+        cluster.run_transaction(body, node=2)
+        from repro.dstm.objects import home_node
+
+        home = home_node("x", cluster.num_nodes)
+        assert cluster.directories[home].owner_of("x") == 2
+        assert cluster.directories[home].registered_version("x") == 1
+
+    def test_read_does_not_migrate(self):
+        cluster = make_cluster()
+        cluster.alloc("x", 3, node=0)
+
+        def body(tx):
+            return (yield from tx.read("x"))
+
+        assert cluster.run_transaction(body, node=3) == 3
+        assert cluster.proxies[0].owns("x")
+        assert not cluster.proxies[3].owns("x")
+
+    def test_stale_owner_forwards_requests(self):
+        cluster = make_cluster()
+        cluster.alloc("x", 0, node=0)
+
+        def writer(tx):
+            yield from tx.write("x", 1)
+
+        def reader(tx):
+            return (yield from tx.read("x"))
+
+        cluster.run_transaction(writer, node=2)  # x now at node 2
+        # Node 3 has no hint; node 1 might have a stale one — both resolve.
+        assert cluster.run_transaction(reader, node=3) == 1
+        assert cluster.run_transaction(reader, node=1) == 1
+
+
+class TestClocks:
+    def test_write_commit_ticks_clock(self):
+        cluster = make_cluster()
+        cluster.alloc("x", 0, node=0)
+
+        def body(tx):
+            yield from tx.write("x", 1)
+
+        before = cluster.nodes[1].clock.tfa_clock
+        cluster.run_transaction(body, node=1)
+        assert cluster.nodes[1].clock.tfa_clock == before + 1
+
+    def test_read_only_commit_does_not_tick(self):
+        cluster = make_cluster()
+        cluster.alloc("x", 0, node=0)
+
+        def body(tx):
+            yield from tx.read("x")
+
+        before = cluster.nodes[1].clock.tfa_clock
+        cluster.run_transaction(body, node=1)
+        assert cluster.nodes[1].clock.tfa_clock == before
+
+
+class TestNesting:
+    def test_nested_commit_merges_into_parent(self):
+        cluster = make_cluster()
+        cluster.alloc("x", 0, node=0)
+
+        def child(tx):
+            v = yield from tx.read("x")
+            yield from tx.write("x", v + 10)
+            return v
+
+        def parent(tx):
+            seen = yield from tx.nested(child)
+            final = yield from tx.read("x")
+            return (seen, final)
+
+        assert cluster.run_transaction(parent, node=1) == (0, 10)
+        assert cluster.committed_value("x") == 10
+
+    def test_nested_user_retry_does_not_abort_parent(self):
+        cluster = make_cluster()
+        cluster.alloc("x", 0, node=0)
+        attempts = []
+
+        def child(tx):
+            attempts.append(1)
+            if len(attempts) < 3:
+                tx.retry_nested("try again")
+            yield from tx.write("x", len(attempts))
+
+        def parent(tx):
+            yield from tx.nested(child)
+            return "done"
+
+        assert cluster.run_transaction(parent, node=1) == "done"
+        assert len(attempts) == 3
+        assert cluster.committed_value("x") == 3
+
+    def test_nested_max_retries_escalates_to_root(self):
+        cluster = make_cluster()
+        cluster.alloc("x", 0, node=0)
+
+        def child(tx):
+            tx.retry_nested("never works")
+            yield  # pragma: no cover
+
+        def parent(tx):
+            yield from tx.nested(child, max_retries=2)
+
+        with pytest.raises(TransactionAborted):
+            cluster.run_transaction(parent, node=1, max_attempts=1)
+
+    def test_parent_abort_discards_nested_commits(self):
+        cluster = make_cluster()
+        cluster.alloc("x", 0, node=0)
+        calls = []
+
+        def child(tx):
+            yield from tx.write("x", 77)
+
+        def parent(tx):
+            yield from tx.nested(child)
+            calls.append(1)
+            if len(calls) == 1:
+                tx.abort("roll everything back")
+
+        with pytest.raises(TransactionAborted):
+            cluster.run_transaction(parent, node=1)
+        assert cluster.committed_value("x") == 0
+
+    def test_deep_nesting(self):
+        cluster = make_cluster()
+        cluster.alloc("x", 1, node=0)
+
+        def leaf(tx):
+            v = yield from tx.read("x")
+            yield from tx.write("x", v * 2)
+
+        def mid(tx):
+            yield from tx.nested(leaf)
+            yield from tx.nested(leaf)
+
+        def top(tx):
+            yield from tx.nested(mid)
+            yield from tx.nested(leaf)
+
+        cluster.run_transaction(top, node=2)
+        assert cluster.committed_value("x") == 8
+
+    def test_nested_abort_accounting(self):
+        cluster = make_cluster()
+        cluster.alloc("x", 0, node=0)
+        flag = []
+
+        def child(tx):
+            if not flag:
+                flag.append(1)
+                tx.retry_nested()
+            yield from tx.read("x")
+
+        def parent(tx):
+            yield from tx.nested(child)
+
+        cluster.run_transaction(parent, node=1)
+        assert cluster.metrics.nested_aborts_own.value == 1
+        assert cluster.metrics.nested_aborts_parent.value == 0
+
+
+class TestUserAbort:
+    def test_user_abort_propagates_without_retry(self):
+        cluster = make_cluster()
+        cluster.alloc("x", 5, node=0)
+        attempts = []
+
+        def body(tx):
+            attempts.append(1)
+            v = yield from tx.read("x")
+            tx.abort("cancelled")
+
+        with pytest.raises(TransactionAborted):
+            cluster.run_transaction(body, node=1)
+        assert len(attempts) == 1  # no retry loop for user aborts
+        assert cluster.metrics.root_aborts.value == 1
+
+    def test_user_abort_rolls_back(self):
+        cluster = make_cluster()
+        cluster.alloc("x", 5, node=0)
+
+        def body(tx):
+            yield from tx.write("x", 999)
+            tx.abort()
+
+        with pytest.raises(TransactionAborted):
+            cluster.run_transaction(body, node=1)
+        assert cluster.committed_value("x") == 5
+
+
+class TestApiMisuse:
+    def test_commit_with_live_children_rejected(self):
+        cluster = make_cluster()
+        cluster.alloc("x", 0, node=0)
+        engine = cluster.engines[0]
+        root = engine.begin()
+        engine.begin(parent=root)  # live child
+
+        def driver(env):
+            yield from engine.commit_root(root)
+
+        proc = cluster.env.process(driver(cluster.env))
+        with pytest.raises(TransactionError, match="live nested"):
+            cluster.env.run(until=proc)
+
+    def test_negative_compute_rejected(self):
+        cluster = make_cluster()
+        engine = cluster.engines[0]
+        root = engine.begin()
+        with pytest.raises(ValueError):
+            next(engine.compute(root, -1.0))
+
+    def test_commit_nested_on_root_rejected(self):
+        cluster = make_cluster()
+        engine = cluster.engines[0]
+        root = engine.begin()
+        with pytest.raises(TransactionError):
+            next(engine.commit_nested(root))

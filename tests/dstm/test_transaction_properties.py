@@ -1,0 +1,103 @@
+"""Property-based tests for the nesting model (hypothesis).
+
+Random nesting trees with random merge/abort sequences must preserve the
+closed-nesting algebra: merged effects surface at the root, aborts kill
+exactly the victim's subtree, and the root's view equals a sequential
+replay of the committed operations.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dstm.transaction import Transaction, TxStatus
+
+
+# One random "script" step: (action, key, value)
+#   action 0 = write in a new child then merge
+#   action 1 = write in a new child then abort it
+#   action 2 = write at the root directly
+steps = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=2),
+              st.integers(min_value=0, max_value=5),
+              st.integers(min_value=0, max_value=100)),
+    min_size=1, max_size=40,
+)
+
+
+class TestMergeAlgebra:
+    @given(steps)
+    @settings(max_examples=120, deadline=None)
+    def test_root_view_equals_sequential_replay(self, script):
+        root = Transaction(node=0)
+        model = {}
+        for action, key, value in script:
+            oid = f"o{key}"
+            if action == 0:
+                child = Transaction(node=0, parent=root)
+                child.record_write(oid, value)
+                child.merge_into_parent()
+                model[oid] = value
+            elif action == 1:
+                child = Transaction(node=0, parent=root)
+                child.record_write(oid, value)
+                child.mark_aborted()
+                # aborted child: no effect on the model
+            else:
+                root.record_write(oid, value)
+                model[oid] = value
+        for oid, expected in model.items():
+            assert root.lookup_write(oid) == expected
+        # No phantom writes either.
+        assert set(root.wset) == set(model)
+
+    @given(steps)
+    @settings(max_examples=80, deadline=None)
+    def test_read_versions_first_recorded_wins(self, script):
+        root = Transaction(node=0)
+        first = {}
+        for i, (_action, key, _value) in enumerate(script):
+            oid = f"o{key}"
+            child = Transaction(node=0, parent=root)
+            child.record_read(oid, version=i, served_by=0)
+            child.merge_into_parent()
+            first.setdefault(oid, i)
+        for oid, version in first.items():
+            assert root.rset[oid].version == version
+
+
+class TestAbortSubtree:
+    @given(st.integers(min_value=1, max_value=5),
+           st.integers(min_value=0, max_value=4))
+    @settings(max_examples=60, deadline=None)
+    def test_abort_kills_exactly_the_subtree(self, depth, committed_siblings):
+        root = Transaction(node=0)
+        # A chain of live descendants under the root...
+        chain = [root]
+        for _ in range(depth):
+            chain.append(Transaction(node=0, parent=chain[-1]))
+        # ...plus committed siblings hanging off the root.
+        siblings = []
+        for _ in range(committed_siblings):
+            sib = Transaction(node=0, parent=root)
+            sib.merge_into_parent()
+            siblings.append(sib)
+
+        victim = chain[1]  # first level below the root
+        killed = victim.mark_aborted()
+
+        assert set(killed) == set(chain[1:])
+        assert root.status is TxStatus.LIVE
+        for sib in siblings:
+            assert sib.status is TxStatus.COMMITTED
+
+    @given(st.integers(min_value=1, max_value=6))
+    @settings(max_examples=40, deadline=None)
+    def test_root_abort_counts_every_descendant_once(self, width):
+        root = Transaction(node=0)
+        for _ in range(width):
+            child = Transaction(node=0, parent=root)
+            Transaction(node=0, parent=child).merge_into_parent()
+            child.merge_into_parent()
+        killed = root.mark_aborted()
+        # root + width children + width grandchildren, no duplicates
+        assert len(killed) == len(set(killed)) == 1 + 2 * width

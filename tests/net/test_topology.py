@@ -1,0 +1,113 @@
+"""Unit and property tests for topologies and the delay matrix."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import Topology, TopologyKind
+from repro.net.topology import MS
+from repro.sim import RngRegistry
+
+
+def make_topology(n=10, kind=TopologyKind.UNIFORM, seed=1, **kw):
+    rng = RngRegistry(seed=seed).stream("topology")
+    return Topology(n, rng, kind=kind, **kw)
+
+
+class TestConstruction:
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            make_topology(n=0)
+
+    def test_bad_delay_band_rejected(self):
+        with pytest.raises(ValueError):
+            make_topology(min_delay=5 * MS, max_delay=1 * MS)
+        with pytest.raises(ValueError):
+            make_topology(min_delay=0.0)
+
+    @pytest.mark.parametrize("kind", list(TopologyKind))
+    def test_all_kinds_produce_n_positions(self, kind):
+        topo = make_topology(n=17, kind=kind)
+        assert topo.positions.shape == (17, 2)
+
+    def test_kind_accepts_string(self):
+        assert make_topology(kind="ring").kind is TopologyKind.RING
+
+    def test_single_node(self):
+        topo = make_topology(n=1)
+        assert topo.delay(0, 0) == 0.0
+        assert topo.mean_delay() == 0.0
+
+
+class TestDelayMatrix:
+    def test_self_delay_is_zero(self):
+        topo = make_topology(n=8)
+        for i in range(8):
+            assert topo.delay(i, i) == 0.0
+
+    def test_symmetric(self):
+        topo = make_topology(n=12)
+        np.testing.assert_allclose(topo.delays, topo.delays.T)
+
+    def test_delays_within_band(self):
+        topo = make_topology(n=20, min_delay=1 * MS, max_delay=50 * MS)
+        off_diag = topo.delays[~np.eye(20, dtype=bool)]
+        assert off_diag.min() >= 1 * MS - 1e-12
+        assert off_diag.max() <= 50 * MS + 1e-12
+        # The farthest pair sits exactly at max_delay.
+        assert off_diag.max() == pytest.approx(50 * MS)
+
+    def test_static_and_reproducible(self):
+        a = make_topology(n=10, seed=3)
+        b = make_topology(n=10, seed=3)
+        np.testing.assert_array_equal(a.delays, b.delays)
+
+    def test_different_seeds_differ(self):
+        a = make_topology(n=10, seed=3)
+        b = make_topology(n=10, seed=4)
+        assert not np.array_equal(a.delays, b.delays)
+
+    def test_metric_properties_hold(self):
+        for kind in TopologyKind:
+            assert make_topology(n=15, kind=kind).verify_metric()
+
+    @given(n=st.integers(min_value=2, max_value=40),
+           seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=40, deadline=None)
+    def test_distance_metric_property(self, n, seed):
+        topo = make_topology(n=n, seed=seed)
+        assert topo.verify_metric()
+
+
+class TestQueries:
+    def test_distance_matches_positions(self):
+        topo = make_topology(n=5)
+        expected = np.linalg.norm(topo.positions[1] - topo.positions[3])
+        assert topo.distance(1, 3) == pytest.approx(expected)
+
+    def test_nearest_nodes_excludes_self_and_is_sorted(self):
+        topo = make_topology(n=10)
+        near = topo.nearest_nodes(0, 4)
+        assert len(near) == 4
+        assert 0 not in near
+        delays = [topo.delay(0, j) for j in near]
+        assert delays == sorted(delays)
+
+    def test_mean_delay_positive(self):
+        assert make_topology(n=6).mean_delay() > 0
+
+    def test_to_graph_complete(self):
+        topo = make_topology(n=6)
+        g = topo.to_graph()
+        assert g.number_of_nodes() == 6
+        assert g.number_of_edges() == 15
+        assert g[0][1]["weight"] == pytest.approx(topo.delay(0, 1))
+
+    def test_grid_positions_regular(self):
+        topo = make_topology(n=9, kind=TopologyKind.GRID)
+        xs = sorted(set(np.round(topo.positions[:, 0], 9)))
+        assert len(xs) == 3
+
+    def test_repr(self):
+        assert "uniform" in repr(make_topology())

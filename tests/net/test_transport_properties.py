@@ -1,0 +1,87 @@
+"""Property-based tests for the transport (hypothesis).
+
+The D-STM protocols assume reliable, per-link-FIFO delivery (e.g. an
+object hand-off must not overtake the enqueue-reply that precedes it).
+These properties pin that contract down under random traffic patterns.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import MessageType, Network, Node, Topology
+from repro.sim import Environment, RngRegistry
+
+
+def build(n, seed, msg_process_time=0.0):
+    env = Environment()
+    topo = Topology(n, RngRegistry(seed=seed).stream("topo"))
+    net = Network(env, topo)
+    nodes = [Node(env, net, i, msg_process_time=msg_process_time)
+             for i in range(n)]
+    return env, net, nodes
+
+
+# (src, dst, send_delay) triples
+traffic = st.lists(
+    st.tuples(st.integers(0, 4), st.integers(0, 4),
+              st.floats(min_value=0.0, max_value=0.2, allow_nan=False)),
+    min_size=1, max_size=40,
+)
+
+
+class TestTransportProperties:
+    @given(traffic, st.integers(0, 100))
+    @settings(max_examples=50, deadline=None)
+    def test_reliable_delivery(self, plan, seed):
+        """Every sent message is delivered exactly once."""
+        env, net, nodes = build(5, seed)
+        received = []
+        for node in nodes:
+            node.on(MessageType.PING, lambda m: received.append(m.payload["i"]))
+
+        def sender(env):
+            for i, (src, dst, delay) in enumerate(plan):
+                yield env.timeout(delay)
+                nodes[src].send(dst, MessageType.PING, {"i": i})
+
+        env.process(sender(env))
+        env.run()
+        assert sorted(received) == list(range(len(plan)))
+
+    @given(traffic, st.integers(0, 100),
+           st.sampled_from([0.0, 1e-4, 2e-3]))
+    @settings(max_examples=50, deadline=None)
+    def test_per_link_fifo(self, plan, seed, service):
+        """Messages on the same (src, dst) link arrive in send order,
+        with or without the node's serial message server."""
+        env, net, nodes = build(5, seed, msg_process_time=service)
+        received = {}
+        for node in nodes:
+            node.on(
+                MessageType.PING,
+                lambda m: received.setdefault((m.src, m.dst), []).append(
+                    m.payload["i"]
+                ),
+            )
+
+        def sender(env):
+            for i, (src, dst, delay) in enumerate(plan):
+                yield env.timeout(delay)
+                nodes[src].send(dst, MessageType.PING, {"i": i})
+
+        env.process(sender(env))
+        env.run()
+        sent = {}
+        for i, (src, dst, _delay) in enumerate(plan):
+            sent.setdefault((src, dst), []).append(i)
+        assert received == sent
+
+    @given(st.integers(2, 8), st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_delivery_time_equals_link_delay(self, n, seed):
+        env, net, nodes = build(n, seed)
+        arrivals = []
+        nodes[1].on(MessageType.PING, lambda m: arrivals.append(env.now))
+        nodes[0].send(1, MessageType.PING)
+        env.run()
+        assert arrivals == [net.topology.delay(0, 1)]

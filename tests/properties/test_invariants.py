@@ -1,0 +1,181 @@
+"""System-level invariants checked at quiescence after contended runs."""
+
+import pytest
+
+from repro.core.cluster import Cluster
+from repro.core.config import ClusterConfig, SchedulerKind
+from repro.core.executor import WorkloadExecutor
+from repro.dstm.objects import ObjectState, home_node
+from repro.workloads.bank import BankWorkload
+from repro.workloads.bst import BstWorkload
+from repro.workloads.rbtree import RED, BLACK, RbTreeWorkload
+from repro.workloads.linkedlist import LinkedListWorkload
+
+SCHEDULERS = [SchedulerKind.TFA, SchedulerKind.TFA_BACKOFF, SchedulerKind.RTS]
+
+
+def run(workload, scheduler, seed=3, num_nodes=6, horizon=5.0, workers=2):
+    cfg = ClusterConfig(num_nodes=num_nodes, seed=seed, scheduler=scheduler,
+                        cl_threshold=4)
+    cluster = Cluster(cfg)
+    ex = WorkloadExecutor(cluster, workload, workers_per_node=workers,
+                          horizon=horizon)
+    ex.setup()
+    ex.run()
+    return cluster
+
+
+class TestOwnershipInvariants:
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_single_owner_per_object_at_quiescence(self, scheduler):
+        wl = BankWorkload(read_fraction=0.3)
+        cluster = run(wl, scheduler)
+        for oid in wl.accounts:
+            owners = [p.node.node_id for p in cluster.proxies if p.owns(oid)]
+            assert len(owners) == 1, f"{oid} owned by {owners}"
+
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_all_objects_free_at_quiescence(self, scheduler):
+        wl = BankWorkload(read_fraction=0.3)
+        cluster = run(wl, scheduler)
+        for proxy in cluster.proxies:
+            for oid, obj in proxy.store.items():
+                assert obj.state is ObjectState.FREE, f"{oid} stuck {obj.state}"
+
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_directory_points_at_actual_owner(self, scheduler):
+        wl = BankWorkload(read_fraction=0.3)
+        cluster = run(wl, scheduler)
+        for oid in wl.accounts:
+            owner = next(p.node.node_id for p in cluster.proxies if p.owns(oid))
+            home = home_node(oid, cluster.num_nodes)
+            assert cluster.directories[home].owner_of(oid) == owner
+
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_directory_version_matches_object(self, scheduler):
+        wl = BankWorkload(read_fraction=0.3)
+        cluster = run(wl, scheduler)
+        for oid in wl.accounts:
+            proxy = next(p for p in cluster.proxies if p.owns(oid))
+            home = home_node(oid, cluster.num_nodes)
+            assert (
+                cluster.directories[home].registered_version(oid)
+                == proxy.store[oid].version
+            )
+
+    def test_queues_drained_at_quiescence(self):
+        wl = BankWorkload(read_fraction=0.1)
+        cluster = run(wl, SchedulerKind.RTS)
+        for proxy in cluster.proxies:
+            for oid, queue in proxy.queues.items():
+                # Entries may survive only for transactions that gave up;
+                # no object may be FREE while a live waiter starves.
+                if len(queue):
+                    obj = proxy.store.get(oid)
+                    assert obj is None or obj.state is ObjectState.FREE
+
+
+class TestDeterminism:
+    def _metrics_fingerprint(self, seed):
+        wl = BankWorkload(read_fraction=0.5)
+        cluster = run(wl, SchedulerKind.RTS, seed=seed, horizon=3.0)
+        m = cluster.metrics
+        balances = tuple(cluster.committed_value(a) for a in wl.accounts)
+        return (m.commits.value, m.root_aborts.value,
+                m.nested_aborts_own.value, m.nested_aborts_parent.value,
+                cluster.env.events_processed, balances)
+
+    def test_same_seed_identical_run(self):
+        assert self._metrics_fingerprint(42) == self._metrics_fingerprint(42)
+
+    def test_different_seed_differs(self):
+        assert self._metrics_fingerprint(42) != self._metrics_fingerprint(43)
+
+
+class TestStructuralInvariants:
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_linked_list_sorted_and_duplicate_free(self, scheduler):
+        wl = LinkedListWorkload(read_fraction=0.2, key_space=16)
+        cluster = run(wl, scheduler)
+        keys = []
+        curr = cluster.committed_value("ll0/head")
+        seen = set()
+        while curr is not None:
+            assert curr not in seen, f"cycle through {curr}"
+            seen.add(curr)
+            cell_key, nxt = cluster.committed_value(f"ll0/cell{curr}")
+            assert cell_key == curr
+            keys.append(cell_key)
+            curr = nxt
+        assert keys == sorted(keys)
+
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_bst_ordering_invariant(self, scheduler):
+        wl = BstWorkload(read_fraction=0.2, key_space=32)
+        cluster = run(wl, scheduler)
+
+        def walk(key, lo, hi, seen):
+            if key is None:
+                return
+            assert lo < key < hi, f"BST order violated at {key}"
+            assert key not in seen, f"node {key} reachable twice"
+            seen.add(key)
+            _present, left, right = cluster.committed_value(f"bst/node{key}")
+            walk(left, lo, key, seen)
+            walk(right, key, hi, seen)
+
+        root = cluster.committed_value("bst/root")
+        walk(root, float("-inf"), float("inf"), set())
+
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_red_black_invariants(self, scheduler):
+        wl = RbTreeWorkload(read_fraction=0.2, key_space=32)
+        cluster = run(wl, scheduler, horizon=4.0)
+
+        def node(key):
+            return cluster.committed_value(f"rb/node{key}")
+
+        root = cluster.committed_value("rb/root")
+        assert root is not None
+        _p, root_color, _l, _r = node(root)
+        assert root_color == BLACK, "root must be black"
+
+        def check(key, lo, hi):
+            """Returns black height; asserts order, colors, no red-red."""
+            if key is None:
+                return 1
+            present, color, left, right = node(key)
+            assert lo < key < hi, f"order violated at {key}"
+            if color == RED:
+                for child in (left, right):
+                    if child is not None:
+                        assert node(child)[1] == BLACK, (
+                            f"red-red violation at {key}->{child}"
+                        )
+            lh = check(left, lo, key)
+            rh = check(right, key, hi)
+            assert lh == rh, f"black-height mismatch under {key}: {lh} != {rh}"
+            return lh + (1 if color == BLACK else 0)
+
+        check(root, float("-inf"), float("inf"))
+
+
+class TestProgress:
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    @pytest.mark.parametrize("read_fraction", [0.9, 0.1])
+    def test_every_configuration_commits(self, scheduler, read_fraction):
+        wl = BankWorkload(read_fraction=read_fraction)
+        cluster = run(wl, scheduler, horizon=4.0)
+        assert cluster.metrics.commits.value > 10
+
+    def test_stop_after_commits(self):
+        wl = BankWorkload(read_fraction=0.5)
+        cfg = ClusterConfig(num_nodes=4, seed=5, scheduler=SchedulerKind.RTS,
+                            cl_threshold=4)
+        cluster = Cluster(cfg)
+        ex = WorkloadExecutor(cluster, wl, workers_per_node=2,
+                              stop_after_commits=25)
+        ex.setup()
+        ex.run()
+        # Workers race past the threshold by at most one commit each.
+        assert 25 <= cluster.metrics.commits.value <= 25 + 4 * 2

@@ -1,0 +1,46 @@
+"""Unit tests for the windowed contention tracker."""
+
+import pytest
+
+from repro.scheduler.contention_level import ContentionTracker
+
+
+class TestContentionTracker:
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            ContentionTracker(window=0)
+
+    def test_unknown_object_is_zero(self):
+        assert ContentionTracker().local_cl("o1", now=0.0) == 0
+
+    def test_counts_distinct_transactions(self):
+        t = ContentionTracker(window=1.0)
+        t.note_request("o1", "tx1", 0.0)
+        t.note_request("o1", "tx2", 0.1)
+        t.note_request("o1", "tx1", 0.2)  # duplicate transaction
+        assert t.local_cl("o1", 0.3) == 2
+
+    def test_window_expiry(self):
+        t = ContentionTracker(window=1.0)
+        t.note_request("o1", "tx1", 0.0)
+        t.note_request("o1", "tx2", 0.9)
+        assert t.local_cl("o1", 1.5) == 1  # tx1 fell out of the window
+        assert t.local_cl("o1", 2.5) == 0
+
+    def test_objects_independent(self):
+        t = ContentionTracker()
+        t.note_request("o1", "tx1", 0.0)
+        assert t.local_cl("o2", 0.0) == 0
+
+    def test_forget(self):
+        t = ContentionTracker()
+        t.note_request("o1", "tx1", 0.0)
+        t.forget("o1")
+        assert t.local_cl("o1", 0.0) == 0
+        assert t.tracked_objects() == 0
+
+    def test_repeated_requests_keep_entry_alive(self):
+        t = ContentionTracker(window=1.0)
+        for i in range(5):
+            t.note_request("o1", "tx1", i * 0.5)
+        assert t.local_cl("o1", 2.5) == 1

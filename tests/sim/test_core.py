@@ -1,0 +1,160 @@
+"""Unit tests for the Environment event loop."""
+
+import pytest
+
+from repro.sim import Environment, SimulationError
+from repro.sim.core import EmptySchedule
+
+
+class TestClockAndRun:
+    def test_initial_time(self):
+        assert Environment().now == 0.0
+        assert Environment(initial_time=10.5).now == 10.5
+
+    def test_run_until_time_stops_clock_exactly(self, env):
+        def body(env):
+            while True:
+                yield env.timeout(3)
+
+        env.process(body(env))
+        env.run(until=7)
+        assert env.now == 7.0
+
+    def test_run_until_time_in_past_rejected(self, env):
+        env.run(until=5)
+        with pytest.raises(ValueError):
+            env.run(until=2)
+
+    def test_run_until_event_returns_value(self, env):
+        def body(env):
+            yield env.timeout(2)
+            return "val"
+
+        p = env.process(body(env))
+        assert env.run(until=p) == "val"
+        assert env.now == 2.0
+
+    def test_run_until_event_raises_on_failure(self, env):
+        def body(env):
+            yield env.timeout(1)
+            raise ValueError("nope")
+
+        p = env.process(body(env))
+        with pytest.raises(ValueError, match="nope"):
+            env.run(until=p)
+
+    def test_run_until_never_fired_event_raises(self, env):
+        ev = env.event()
+        env.timeout(1)
+        with pytest.raises(SimulationError, match="exhausted"):
+            env.run(until=ev)
+
+    def test_run_to_exhaustion(self, env):
+        def body(env):
+            yield env.timeout(4)
+
+        env.process(body(env))
+        env.run()
+        assert env.now == 4.0
+
+    def test_run_until_past_exhaustion_advances_clock(self, env):
+        def body(env):
+            yield env.timeout(2)
+
+        env.process(body(env))
+        env.run(until=100)
+        assert env.now == 100.0
+
+    def test_max_events_guard(self, env):
+        def spinner(env):
+            while True:
+                yield env.timeout(1)
+
+        env.process(spinner(env))
+        with pytest.raises(SimulationError, match="max_events"):
+            env.run(max_events=10)
+
+    def test_events_processed_counter(self, env):
+        def body(env):
+            yield env.timeout(1)
+            yield env.timeout(1)
+
+        env.process(body(env))
+        env.run()
+        assert env.events_processed >= 3  # bootstrap + 2 timeouts
+
+
+class TestStepAndPeek:
+    def test_step_empty_raises(self, env):
+        with pytest.raises(EmptySchedule):
+            env.step()
+
+    def test_peek_returns_next_event_time(self, env):
+        env.timeout(5)
+        env.timeout(3)
+        assert env.peek() == 3.0
+
+    def test_peek_empty_is_inf(self, env):
+        assert env.peek() == float("inf")
+
+    def test_step_advances_clock(self, env):
+        env.timeout(2.5)
+        env.step()
+        assert env.now == 2.5
+
+    def test_time_never_goes_backwards(self, env):
+        times = []
+
+        def body(env, d):
+            yield env.timeout(d)
+            times.append(env.now)
+
+        for d in [5, 1, 3, 2, 4]:
+            env.process(body(env, d))
+        env.run()
+        assert times == sorted(times)
+
+
+class TestDeterminism:
+    @staticmethod
+    def _run_once(seed):
+        from repro.sim import RngRegistry
+
+        env = Environment()
+        rng = RngRegistry(seed=seed).stream("test")
+        log = []
+
+        def worker(env, wid):
+            for _ in range(20):
+                yield env.timeout(float(rng.uniform(0.1, 2.0)))
+                log.append((round(env.now, 9), wid))
+
+        for wid in range(5):
+            env.process(worker(env, wid))
+        env.run()
+        return log
+
+    def test_same_seed_same_trace(self):
+        assert self._run_once(7) == self._run_once(7)
+
+    def test_different_seed_different_trace(self):
+        assert self._run_once(7) != self._run_once(8)
+
+    def test_same_time_events_fire_in_schedule_order(self, env):
+        order = []
+
+        def body(env, tag):
+            yield env.timeout(1.0)
+            order.append(tag)
+
+        for tag in "abcde":
+            env.process(body(env, tag))
+        env.run()
+        assert order == list("abcde")
+
+
+class TestSchedulingInvariants:
+    def test_event_cannot_be_scheduled_twice(self, env):
+        ev = env.event().succeed(1)
+        with pytest.raises(SimulationError):
+            env._enqueue(0.0, 1, ev)

@@ -1,0 +1,253 @@
+"""Unit tests for the event primitives."""
+
+import pytest
+
+from repro.sim import Environment, Event, EventAlreadyTriggered, Timeout
+from repro.sim.events import AllOf, AnyOf, PRIORITY_URGENT, PRIORITY_NORMAL
+
+
+class TestEventLifecycle:
+    def test_fresh_event_is_pending(self, env):
+        ev = env.event()
+        assert not ev.triggered
+        assert not ev.processed
+
+    def test_value_before_trigger_raises(self, env):
+        with pytest.raises(AttributeError):
+            env.event().value
+
+    def test_succeed_sets_value(self, env):
+        ev = env.event().succeed(42)
+        assert ev.triggered
+        assert ev.ok
+        assert ev.value == 42
+
+    def test_succeed_default_value_is_none(self, env):
+        assert env.event().succeed().value is None
+
+    def test_fail_sets_exception(self, env):
+        exc = ValueError("boom")
+        ev = env.event().fail(exc)
+        assert ev.triggered
+        assert not ev.ok
+        assert ev.value is exc
+
+    def test_fail_requires_exception(self, env):
+        with pytest.raises(TypeError):
+            env.event().fail("not an exception")
+
+    def test_double_succeed_raises(self, env):
+        ev = env.event().succeed(1)
+        with pytest.raises(EventAlreadyTriggered):
+            ev.succeed(2)
+
+    def test_succeed_then_fail_raises(self, env):
+        ev = env.event().succeed(1)
+        with pytest.raises(EventAlreadyTriggered):
+            ev.fail(ValueError())
+
+    def test_processing_runs_callbacks(self, env):
+        ev = env.event()
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        ev.succeed("x")
+        env.run()
+        assert seen == ["x"]
+        assert ev.processed
+
+    def test_callback_after_processing_runs_synchronously(self, env):
+        ev = env.event().succeed(7)
+        env.run()
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        assert seen == [7]
+
+    def test_trigger_copies_success(self, env):
+        src = env.event().succeed("payload")
+        dst = env.event()
+        dst.trigger(src)
+        assert dst.value == "payload"
+
+    def test_trigger_copies_failure(self, env):
+        exc = RuntimeError("bad")
+        src = env.event().fail(exc)
+        dst = env.event()
+        dst.trigger(src)
+        assert not dst.ok
+        assert dst.value is exc
+
+    def test_repr_reflects_state(self, env):
+        ev = env.event()
+        assert "pending" in repr(ev)
+        ev.succeed()
+        assert "triggered" in repr(ev)
+        env.run()
+        assert "processed" in repr(ev)
+
+
+class TestTimeout:
+    def test_fires_at_delay(self, env):
+        fired = []
+
+        def proc(env):
+            yield env.timeout(3.5)
+            fired.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert fired == [3.5]
+
+    def test_negative_delay_rejected(self, env):
+        with pytest.raises(ValueError):
+            env.timeout(-1)
+
+    def test_zero_delay_allowed(self, env):
+        out = []
+
+        def proc(env):
+            yield env.timeout(0)
+            out.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert out == [0.0]
+
+    def test_carries_value(self, env):
+        def proc(env):
+            v = yield env.timeout(1, value="hello")
+            return v
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == "hello"
+
+    def test_pending_timeout_not_triggered(self, env):
+        to = env.timeout(5)
+        assert not to.triggered
+
+    def test_repr(self, env):
+        assert "2" in repr(env.timeout(2))
+
+
+class TestConditions:
+    def test_anyof_first_wins(self, env):
+        def proc(env):
+            a = env.timeout(1, "a")
+            b = env.timeout(2, "b")
+            got = yield AnyOf(env, [a, b])
+            return (env.now, list(got.values()))
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == (1.0, ["a"])
+
+    def test_anyof_simultaneous_collects_in_order(self, env):
+        def proc(env):
+            a = env.timeout(1, "a")
+            b = env.timeout(1, "b")
+            got = yield AnyOf(env, [a, b])
+            return list(got.values())
+
+        p = env.process(proc(env))
+        env.run()
+        # 'a' was scheduled first, so it is processed first and wins.
+        assert p.value == ["a"]
+
+    def test_anyof_or_operator(self, env):
+        def proc(env):
+            got = yield env.timeout(1, "x") | env.timeout(9, "y")
+            return list(got.values())
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == ["x"]
+
+    def test_anyof_empty_triggers_immediately(self, env):
+        def proc(env):
+            got = yield AnyOf(env, [])
+            return (env.now, got)
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == (0.0, {})
+
+    def test_allof_waits_for_all(self, env):
+        def proc(env):
+            a = env.timeout(1, "a")
+            b = env.timeout(4, "b")
+            got = yield AllOf(env, [a, b])
+            return (env.now, sorted(got.values()))
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == (4.0, ["a", "b"])
+
+    def test_allof_and_operator(self, env):
+        def proc(env):
+            got = yield env.timeout(2, 1) & env.timeout(3, 2)
+            return (env.now, sorted(got.values()))
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == (3.0, [1, 2])
+
+    def test_allof_empty_triggers_immediately(self, env):
+        def proc(env):
+            got = yield AllOf(env, [])
+            return got
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == {}
+
+    def test_condition_propagates_child_failure(self, env):
+        def failer(env):
+            yield env.timeout(1)
+            raise ValueError("child failed")
+
+        def proc(env):
+            f = env.process(failer(env))
+            t = env.timeout(10)
+            with pytest.raises(ValueError, match="child failed"):
+                yield AllOf(env, [f, t])
+            return "handled"
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == "handled"
+
+    def test_condition_over_already_triggered_events(self, env):
+        def proc(env):
+            ev = env.event().succeed("pre")
+            yield env.timeout(1)
+            got = yield AnyOf(env, [ev, env.event()])
+            return list(got.values())
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == ["pre"]
+
+    def test_cross_environment_composition_rejected(self, env):
+        other = Environment()
+        with pytest.raises(ValueError):
+            AnyOf(env, [env.event(), other.event()])
+
+
+class TestPriorities:
+    def test_urgent_beats_normal_at_same_time(self, env):
+        order = []
+        a = env.event()
+        a.add_callback(lambda e: order.append("normal"))
+        b = Timeout(env, 0.0, priority=PRIORITY_URGENT)
+        b.add_callback(lambda e: order.append("urgent"))
+        a.succeed()
+        env.run()
+        assert order == ["urgent", "normal"]
+
+    def test_fifo_within_priority(self, env):
+        order = []
+        for i in range(5):
+            t = Timeout(env, 1.0, priority=PRIORITY_NORMAL)
+            t.add_callback(lambda e, i=i: order.append(i))
+        env.run()
+        assert order == [0, 1, 2, 3, 4]

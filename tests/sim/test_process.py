@@ -1,0 +1,292 @@
+"""Unit tests for generator-coroutine processes."""
+
+import pytest
+
+from repro.sim import Environment, Interrupt, Process, ProcessDied
+
+
+class TestBasicExecution:
+    def test_process_runs_to_completion(self, env):
+        def body(env):
+            yield env.timeout(1)
+            yield env.timeout(2)
+            return "done"
+
+        p = env.process(body(env))
+        env.run()
+        assert p.value == "done"
+        assert env.now == 3.0
+
+    def test_process_is_alive_until_return(self, env):
+        def body(env):
+            yield env.timeout(5)
+
+        p = env.process(body(env))
+        assert p.is_alive
+        env.run(until=1)
+        assert p.is_alive
+        env.run()
+        assert not p.is_alive
+
+    def test_default_return_value_is_none(self, env):
+        def body(env):
+            yield env.timeout(1)
+
+        p = env.process(body(env))
+        env.run()
+        assert p.value is None
+
+    def test_non_generator_rejected(self, env):
+        with pytest.raises(TypeError):
+            env.process(lambda: None)
+
+    def test_name_defaults_to_generator_name(self, env):
+        def my_worker(env):
+            yield env.timeout(1)
+
+        p = env.process(my_worker(env))
+        assert p.name == "my_worker"
+        q = env.process(my_worker(env), name="custom")
+        assert q.name == "custom"
+        env.run()
+
+    def test_yielding_non_event_fails_process(self, env):
+        def body(env):
+            yield 42
+
+        # An orphan failure crashes the run loudly...
+        env.process(body(env))
+        with pytest.raises(RuntimeError, match="must\\s+yield Event"):
+            env.run(until=1)
+
+        # ...while a waiter can observe and absorb it.
+        def waiter(env):
+            with pytest.raises(RuntimeError, match="must\\s+yield Event"):
+                yield env.process(body(env))
+            return True
+
+        w = env.process(waiter(env))
+        env.run()
+        assert w.value is True
+
+    def test_yielding_foreign_event_fails_process(self, env):
+        other = Environment()
+
+        def body(env):
+            yield other.event()
+
+        def waiter(env):
+            with pytest.raises(RuntimeError, match="different environment"):
+                yield env.process(body(env))
+            return True
+
+        w = env.process(waiter(env))
+        env.run()
+        assert w.value is True
+
+
+class TestProcessAsEvent:
+    def test_waiting_on_child_process(self, env):
+        def child(env):
+            yield env.timeout(2)
+            return 99
+
+        def parent(env):
+            v = yield env.process(child(env))
+            return v + 1
+
+        p = env.process(parent(env))
+        env.run()
+        assert p.value == 100
+
+    def test_child_exception_propagates_to_waiter(self, env):
+        def child(env):
+            yield env.timeout(1)
+            raise KeyError("lost")
+
+        def parent(env):
+            try:
+                yield env.process(child(env))
+            except KeyError:
+                return "caught"
+
+        p = env.process(parent(env))
+        env.run()
+        assert p.value == "caught"
+
+    def test_uncaught_process_failure_crashes_run(self, env):
+        def body(env):
+            yield env.timeout(1)
+            raise RuntimeError("unhandled")
+
+        env.process(body(env))
+        with pytest.raises(RuntimeError, match="unhandled"):
+            env.run()
+
+    def test_waiting_on_already_finished_process(self, env):
+        def child(env):
+            yield env.timeout(1)
+            return "early"
+
+        def parent(env, c):
+            yield env.timeout(5)
+            v = yield c
+            return v
+
+        c = env.process(child(env))
+        p = env.process(parent(env, c))
+        env.run()
+        assert p.value == "early"
+        assert env.now == 5.0
+
+
+class TestInterrupts:
+    def test_interrupt_wakes_sleeper(self, env):
+        def sleeper(env):
+            try:
+                yield env.timeout(100)
+                return "slept"
+            except Interrupt as i:
+                return ("interrupted", env.now, i.cause)
+
+        s = env.process(sleeper(env))
+
+        def killer(env):
+            yield env.timeout(3)
+            s.interrupt("reason")
+
+        env.process(killer(env))
+        env.run(until=s)
+        assert s.value == ("interrupted", 3.0, "reason")
+
+    def test_interrupt_cause_defaults_to_none(self, env):
+        def sleeper(env):
+            try:
+                yield env.timeout(10)
+            except Interrupt as i:
+                return i.cause
+
+        s = env.process(sleeper(env))
+
+        def killer(env):
+            yield env.timeout(1)
+            s.interrupt()
+
+        env.process(killer(env))
+        env.run(until=s)
+        assert s.value is None
+
+    def test_interrupted_process_can_keep_running(self, env):
+        log = []
+
+        def worker(env):
+            try:
+                yield env.timeout(50)
+            except Interrupt:
+                log.append(("intr", env.now))
+            yield env.timeout(2)
+            log.append(("done", env.now))
+
+        w = env.process(worker(env))
+
+        def killer(env):
+            yield env.timeout(1)
+            w.interrupt()
+
+        env.process(killer(env))
+        env.run()
+        assert log == [("intr", 1.0), ("done", 3.0)]
+
+    def test_interrupt_dead_process_raises(self, env):
+        def body(env):
+            yield env.timeout(1)
+
+        p = env.process(body(env))
+        env.run()
+        with pytest.raises(ProcessDied):
+            p.interrupt()
+
+    def test_interrupt_does_not_consume_waited_event(self, env):
+        """The event the process waited on stays usable by other waiters."""
+        shared = env.event()
+        got = []
+
+        def patient(env):
+            v = yield shared
+            got.append(("patient", v))
+
+        def impatient(env):
+            try:
+                yield shared
+            except Interrupt:
+                got.append(("impatient", "interrupted"))
+
+        env.process(patient(env))
+        imp = env.process(impatient(env))
+
+        def driver(env):
+            yield env.timeout(1)
+            imp.interrupt()
+            yield env.timeout(1)
+            shared.succeed("payload")
+
+        env.process(driver(env))
+        env.run()
+        assert ("patient", "payload") in got
+        assert ("impatient", "interrupted") in got
+
+    def test_unhandled_interrupt_fails_process(self, env):
+        def body(env):
+            yield env.timeout(10)
+
+        p = env.process(body(env))
+
+        def killer(env):
+            yield env.timeout(1)
+            p.interrupt("die")
+
+        env.process(killer(env))
+        with pytest.raises(Interrupt):
+            env.run()
+
+    def test_interrupt_delivered_before_same_time_resume(self, env):
+        """An interrupt at time t wins over an event resume at time t."""
+
+        def sleeper(env):
+            try:
+                yield env.timeout(5)
+                return "timeout-won"
+            except Interrupt:
+                return "interrupt-won"
+
+        s = env.process(sleeper(env))
+
+        def killer(env):
+            yield env.timeout(5)
+            s.interrupt()
+
+        # killer's timeout was scheduled after sleeper's; processed second
+        # at t=5, yet the interrupt is delivered urgently.
+        env.process(killer(env))
+        env.run(until=s)
+        # Sleeper's timeout processes first at t=5 (it was scheduled first),
+        # so it resumes normally before the killer even runs.
+        assert s.value == "timeout-won"
+
+    def test_interrupt_before_wakeup_event_processes(self, env):
+        def sleeper(env):
+            try:
+                yield env.timeout(5)
+                return "timeout-won"
+            except Interrupt:
+                return "interrupt-won"
+
+        s = env.process(sleeper(env))
+
+        def killer(env):
+            yield env.timeout(4)
+            s.interrupt()
+
+        env.process(killer(env))
+        env.run(until=s)
+        assert s.value == "interrupt-won"

@@ -1,0 +1,61 @@
+"""Unit tests for the tracer."""
+
+from repro.sim import Tracer
+from repro.sim.trace import TraceRecord
+
+
+class TestTracer:
+    def test_disabled_by_default(self):
+        tr = Tracer()
+        tr.emit(1.0, "cat", "subj", a=1)
+        assert len(tr) == 0
+
+    def test_enabled_records(self):
+        tr = Tracer(enabled=True)
+        tr.emit(1.0, "cat", "subj", a=1)
+        assert len(tr) == 1
+        rec = tr.records()[0]
+        assert rec.time == 1.0
+        assert rec.category == "cat"
+        assert rec.detail("a") == 1
+        assert rec.detail("missing", "dflt") == "dflt"
+
+    def test_category_filter(self):
+        tr = Tracer(enabled=True, categories={"keep"})
+        tr.emit(0.0, "keep", "x")
+        tr.emit(0.0, "drop", "y")
+        assert [r.category for r in tr] == ["keep"]
+        assert tr.wants("keep") and not tr.wants("drop")
+
+    def test_max_records_bound(self):
+        tr = Tracer(enabled=True, max_records=2)
+        for i in range(5):
+            tr.emit(float(i), "c", "s")
+        assert len(tr) == 2
+        assert tr.dropped == 3
+
+    def test_records_by_category(self):
+        tr = Tracer(enabled=True)
+        tr.emit(0.0, "a", "1")
+        tr.emit(0.0, "b", "2")
+        tr.emit(0.0, "a", "3")
+        assert len(tr.records("a")) == 2
+        assert tr.categories() == {"a": 2, "b": 1}
+
+    def test_clear(self):
+        tr = Tracer(enabled=True, max_records=1)
+        tr.emit(0.0, "c", "s")
+        tr.emit(0.0, "c", "s")
+        tr.clear()
+        assert len(tr) == 0 and tr.dropped == 0
+
+    def test_dump_and_str(self):
+        tr = Tracer(enabled=True)
+        tr.emit(1.5, "commit", "tx1", node=3)
+        text = tr.dump()
+        assert "commit" in text and "tx1" in text and "node=3" in text
+        assert tr.dump(limit=0) == ""
+
+    def test_record_is_hashable_and_ordered_details(self):
+        r = TraceRecord(1.0, "c", "s", (("a", 1), ("b", 2)))
+        assert hash(r) == hash(TraceRecord(1.0, "c", "s", (("a", 1), ("b", 2))))

@@ -1,0 +1,106 @@
+"""Unit and property tests for the Bloom filter."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util import BloomFilter
+
+
+class TestConstruction:
+    def test_default_geometry(self):
+        bf = BloomFilter(capacity=128, error_rate=0.01)
+        assert bf.num_bits > 128
+        assert bf.num_hashes >= 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            BloomFilter(capacity=0)
+
+    @pytest.mark.parametrize("rate", [0.0, 1.0, -0.5, 2.0])
+    def test_invalid_error_rate(self, rate):
+        with pytest.raises(ValueError):
+            BloomFilter(error_rate=rate)
+
+    def test_lower_error_rate_means_more_bits(self):
+        loose = BloomFilter(capacity=100, error_rate=0.1)
+        tight = BloomFilter(capacity=100, error_rate=0.001)
+        assert tight.num_bits > loose.num_bits
+
+
+class TestMembership:
+    def test_empty_contains_nothing(self):
+        bf = BloomFilter()
+        assert "x" not in bf
+        assert 42 not in bf
+
+    def test_added_items_are_members(self):
+        bf = BloomFilter()
+        for item in ["a", "b", 3, (4, "five"), 2.5]:
+            bf.add(item)
+            assert item in bf
+
+    def test_unhashable_type_rejected(self):
+        with pytest.raises(TypeError):
+            BloomFilter().add([1, 2])
+
+    def test_int_and_str_do_not_collide_trivially(self):
+        bf = BloomFilter()
+        bf.add(1)
+        assert "1" not in bf
+
+    def test_clear(self):
+        bf = BloomFilter()
+        bf.add("x")
+        bf.clear()
+        assert "x" not in bf
+        assert bf.count == 0
+        assert bf.bits_set == 0
+
+    def test_false_positive_rate_within_bounds(self):
+        """At design capacity the empirical FP rate stays near the target."""
+        bf = BloomFilter(capacity=500, error_rate=0.01)
+        for i in range(500):
+            bf.add(("member", i))
+        fps = sum(1 for i in range(10_000) if ("non-member", i) in bf)
+        assert fps / 10_000 < 0.05  # 5x headroom over the 1% design point
+
+    @given(st.lists(st.integers(), min_size=1, max_size=100))
+    @settings(max_examples=100, deadline=None)
+    def test_no_false_negatives(self, items):
+        """The defining Bloom property: inserted items always test positive."""
+        bf = BloomFilter(capacity=max(len(items), 1))
+        for item in items:
+            bf.add(item)
+        assert all(item in bf for item in items)
+
+
+class TestUnion:
+    def test_union_contains_both_sides(self):
+        a = BloomFilter(capacity=64)
+        b = BloomFilter(capacity=64)
+        a.add("left")
+        b.add("right")
+        u = a.union(b)
+        assert "left" in u and "right" in u
+        assert u.count == 2
+
+    def test_union_geometry_mismatch(self):
+        with pytest.raises(ValueError):
+            BloomFilter(capacity=64).union(BloomFilter(capacity=128))
+
+
+class TestDiagnostics:
+    def test_fill_ratio_grows(self):
+        bf = BloomFilter(capacity=32)
+        before = bf.fill_ratio
+        bf.add("item")
+        assert bf.fill_ratio > before
+
+    def test_estimated_fp_rate_zero_when_empty(self):
+        assert BloomFilter().estimated_false_positive_rate() == 0.0
+
+    def test_repr(self):
+        bf = BloomFilter(capacity=10)
+        bf.add(1)
+        assert "BloomFilter" in repr(bf)

@@ -1,0 +1,68 @@
+"""Unit tests for the histogram."""
+
+import pytest
+
+from repro.util import Histogram
+
+
+class TestHistogram:
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            Histogram("h", 5, 5)
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            Histogram("h", 0, 1, bins=0)
+
+    def test_values_land_in_correct_bins(self):
+        h = Histogram("h", 0, 10, bins=10)
+        h.observe(0.5)
+        h.observe(9.5)
+        h.observe(5.0)
+        assert h.counts[0] == 1
+        assert h.counts[9] == 1
+        assert h.counts[5] == 1
+        assert h.count == 3
+
+    def test_under_and_overflow(self):
+        h = Histogram("h", 0, 10)
+        h.observe(-1)
+        h.observe(10)  # hi edge is exclusive
+        h.observe(100)
+        assert h.underflow == 1
+        assert h.overflow == 2
+
+    def test_bin_edges_cover_range(self):
+        h = Histogram("h", 0, 1, bins=4)
+        edges = h.bin_edges()
+        assert edges[0][0] == 0.0
+        assert edges[-1][1] == pytest.approx(1.0)
+        assert len(edges) == 4
+
+    def test_mode_bin(self):
+        h = Histogram("h", 0, 10, bins=10)
+        assert h.mode_bin() is None
+        for _ in range(3):
+            h.observe(4.5)
+        h.observe(1.0)
+        lo, hi = h.mode_bin()
+        assert lo <= 4.5 < hi
+
+    def test_render_contains_counts(self):
+        h = Histogram("lat", 0, 1, bins=2)
+        h.observe(0.25)
+        text = h.render()
+        assert "lat" in text and "#" in text
+
+    def test_from_samples_autorange(self):
+        h = Histogram.from_samples("h", [1.0, 2.0, 3.0], bins=3)
+        assert h.count == 3
+        assert h.underflow == 0 and h.overflow == 0
+
+    def test_from_samples_constant_data(self):
+        h = Histogram.from_samples("h", [5.0, 5.0], bins=4)
+        assert h.count == 2 and h.overflow == 0
+
+    def test_from_samples_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram.from_samples("h", [])

@@ -1,0 +1,116 @@
+"""Unit and property tests for online estimators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util import Ewma, OnlineQuantile
+
+
+class TestEwma:
+    def test_invalid_alpha(self):
+        for alpha in (0.0, -1.0, 1.5):
+            with pytest.raises(ValueError):
+                Ewma(alpha=alpha)
+
+    def test_no_data_no_initial_raises(self):
+        with pytest.raises(ValueError):
+            Ewma().value
+
+    def test_initial_fallback(self):
+        e = Ewma(initial=5.0)
+        assert e.available
+        assert e.value == 5.0
+
+    def test_first_observation_sets_mean(self):
+        e = Ewma(alpha=0.5)
+        e.observe(10.0)
+        assert e.value == 10.0
+        assert e.stdev == 0.0
+
+    def test_converges_to_constant(self):
+        e = Ewma(alpha=0.3)
+        for _ in range(100):
+            e.observe(7.0)
+        assert e.value == pytest.approx(7.0)
+        assert e.stdev == pytest.approx(0.0, abs=1e-9)
+
+    def test_tracks_level_shift(self):
+        e = Ewma(alpha=0.5)
+        for _ in range(20):
+            e.observe(0.0)
+        for _ in range(20):
+            e.observe(100.0)
+        assert e.value > 99.0
+
+    def test_alpha_one_is_last_value(self):
+        e = Ewma(alpha=1.0)
+        e.observe(3.0)
+        e.observe(9.0)
+        assert e.value == 9.0
+
+    def test_hand_computed_sequence(self):
+        e = Ewma(alpha=0.25)
+        e.observe(4.0)   # mean = 4
+        e.observe(8.0)   # mean = 4 + .25*4 = 5
+        assert e.value == pytest.approx(5.0)
+
+    @given(st.lists(st.floats(min_value=-1e3, max_value=1e3,
+                              allow_nan=False), min_size=1, max_size=100),
+           st.floats(min_value=0.05, max_value=1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_stays_within_observed_range(self, data, alpha):
+        e = Ewma(alpha=alpha)
+        for x in data:
+            e.observe(x)
+        assert min(data) - 1e-9 <= e.value <= max(data) + 1e-9
+
+
+class TestOnlineQuantile:
+    def test_invalid_q(self):
+        for q in (0.0, 1.0, -0.1):
+            with pytest.raises(ValueError):
+                OnlineQuantile(q)
+
+    def test_no_data_raises(self):
+        with pytest.raises(ValueError):
+            OnlineQuantile(0.5).value
+
+    def test_small_samples_exact(self):
+        oq = OnlineQuantile(0.5)
+        for x in [1.0, 9.0, 5.0]:
+            oq.observe(x)
+        assert oq.value == 5.0
+
+    @pytest.mark.parametrize("q", [0.1, 0.5, 0.9, 0.99])
+    def test_converges_on_uniform(self, q):
+        rng = np.random.default_rng(7)
+        data = rng.uniform(0, 1, size=5000)
+        oq = OnlineQuantile(q)
+        for x in data:
+            oq.observe(x)
+        assert oq.value == pytest.approx(np.quantile(data, q), abs=0.05)
+
+    def test_converges_on_exponential(self):
+        rng = np.random.default_rng(11)
+        data = rng.exponential(2.0, size=5000)
+        oq = OnlineQuantile(0.5)
+        for x in data:
+            oq.observe(x)
+        assert oq.value == pytest.approx(np.quantile(data, 0.5), rel=0.15)
+
+    @given(st.lists(st.floats(min_value=-1e4, max_value=1e4,
+                              allow_nan=False), min_size=6, max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_estimate_within_data_range(self, data):
+        oq = OnlineQuantile(0.5)
+        for x in data:
+            oq.observe(x)
+        assert min(data) - 1e-9 <= oq.value <= max(data) + 1e-9
+
+    def test_repr(self):
+        oq = OnlineQuantile(0.9)
+        assert "n/a" in repr(oq)
+        oq.observe(1.0)
+        assert "0.9" in repr(oq)

@@ -1,0 +1,366 @@
+"""Sequential-semantics tests: each benchmark's operations, run without
+contention through the real transaction machinery, must behave like their
+plain-Python counterparts."""
+
+import pytest
+
+from repro.core.cluster import Cluster
+from repro.core.config import ClusterConfig, SchedulerKind
+from repro.workloads.bank import BankWorkload, total_balance, transfer
+from repro.workloads.bst import BstWorkload, bst_add, bst_contains, bst_remove
+from repro.workloads.dht import (
+    DhtWorkload,
+    get_multi,
+    put_multi,
+    remove_multi,
+)
+from repro.workloads.linkedlist import (
+    LinkedListWorkload,
+    ll_add,
+    ll_contains,
+    ll_remove,
+)
+from repro.workloads.rbtree import (
+    RbTreeWorkload,
+    rb_add,
+    rb_contains,
+    rb_remove,
+)
+from repro.workloads.vacation import (
+    VacationWorkload,
+    cancel_customer,
+    make_reservation,
+    query_availability,
+)
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(ClusterConfig(num_nodes=4, seed=9,
+                                 scheduler=SchedulerKind.TFA))
+
+
+class TestBankSemantics:
+    def test_transfer_moves_money(self, cluster):
+        wl = BankWorkload()
+        wl.setup(cluster, cluster.rngs.stream("setup"))
+        src, dst = wl.accounts[0], wl.accounts[5]
+        cluster.run_transaction(
+            transfer, [(src, dst, 30)], 1e-4, node=1, profile="bank.transfer"
+        )
+        assert cluster.committed_value(src) == 970
+        assert cluster.committed_value(dst) == 1030
+
+    def test_multi_leg_transfer(self, cluster):
+        wl = BankWorkload()
+        wl.setup(cluster, cluster.rngs.stream("setup"))
+        a, b, c = wl.accounts[0], wl.accounts[1], wl.accounts[2]
+        cluster.run_transaction(
+            transfer, [(a, b, 10), (b, c, 5)], 1e-4, node=0,
+            profile="bank.transfer",
+        )
+        assert cluster.committed_value(a) == 990
+        assert cluster.committed_value(b) == 1005
+        assert cluster.committed_value(c) == 1005
+
+    def test_total_balance_reads_sum(self, cluster):
+        wl = BankWorkload()
+        wl.setup(cluster, cluster.rngs.stream("setup"))
+        sample = wl.accounts[:4]
+        total = cluster.run_transaction(total_balance, sample, node=2,
+                                        profile="bank.balance")
+        assert total == 4000
+
+    def test_op_mix_respects_read_fraction(self, cluster):
+        wl = BankWorkload(read_fraction=1.0)
+        wl.setup(cluster, cluster.rngs.stream("setup"))
+        rng = cluster.rngs.stream("mix")
+        assert all(wl.make_op(0, rng).is_read for _ in range(20))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BankWorkload(accounts_per_node=1)
+        with pytest.raises(ValueError):
+            BankWorkload(max_legs=0)
+        with pytest.raises(ValueError):
+            BankWorkload(read_fraction=1.5)
+
+
+class TestDhtSemantics:
+    def test_put_get_roundtrip(self, cluster):
+        wl = DhtWorkload()
+        wl.setup(cluster, cluster.rngs.stream("setup"))
+        bucket = wl.buckets[0]
+        cluster.run_transaction(put_multi, [(bucket, "k1", 111)], node=1,
+                                profile="dht.put_multi")
+        vals = cluster.run_transaction(get_multi, [(bucket, "k1")], node=2,
+                                       profile="dht.get_multi")
+        assert vals == [111]
+
+    def test_put_overwrites(self, cluster):
+        wl = DhtWorkload()
+        wl.setup(cluster, cluster.rngs.stream("setup"))
+        bucket = wl.buckets[1]
+        for v in (1, 2):
+            cluster.run_transaction(put_multi, [(bucket, "kx", v)], node=0,
+                                    profile="dht.put_multi")
+        vals = cluster.run_transaction(get_multi, [(bucket, "kx")], node=3,
+                                       profile="dht.get_multi")
+        assert vals == [2]
+
+    def test_remove(self, cluster):
+        wl = DhtWorkload()
+        wl.setup(cluster, cluster.rngs.stream("setup"))
+        bucket = wl.buckets[2]
+        cluster.run_transaction(put_multi, [(bucket, "kz", 5)], node=0,
+                                profile="dht.put_multi")
+        removed = cluster.run_transaction(remove_multi, [(bucket, "kz")],
+                                          node=1, profile="dht.remove_multi")
+        assert removed == 1
+        vals = cluster.run_transaction(get_multi, [(bucket, "kz")], node=2,
+                                       profile="dht.get_multi")
+        assert vals == [None]
+
+    def test_multi_bucket_put_atomic(self, cluster):
+        wl = DhtWorkload()
+        wl.setup(cluster, cluster.rngs.stream("setup"))
+        b1, b2 = wl.buckets[0], wl.buckets[-1]
+        cluster.run_transaction(
+            put_multi, [(b1, "shared", 1), (b2, "shared", 2)], node=1,
+            profile="dht.put_multi",
+        )
+        vals = cluster.run_transaction(
+            get_multi, [(b1, "shared"), (b2, "shared")], node=0,
+            profile="dht.get_multi",
+        )
+        assert vals == [1, 2]
+
+
+class TestLinkedListSemantics:
+    def _final_keys(self, cluster, prefix="ll0"):
+        keys = []
+        curr = cluster.committed_value(f"{prefix}/head")
+        while curr is not None:
+            k, curr = cluster.committed_value(f"{prefix}/cell{curr}")
+            keys.append(k)
+        return keys
+
+    def test_add_remove_contains_against_model(self, cluster):
+        wl = LinkedListWorkload(key_space=10, initial_fill=0.0)
+        wl.setup(cluster, cluster.rngs.stream("setup"))
+        model = set()
+        rng = cluster.rngs.stream("ops")
+        for _ in range(60):
+            key = int(rng.integers(0, 10))
+            action = rng.random()
+            if action < 0.4:
+                got = cluster.run_transaction(ll_add, "ll0", key, node=0,
+                                              profile="ll.add")
+                assert got == (key not in model)
+                model.add(key)
+            elif action < 0.8:
+                got = cluster.run_transaction(ll_remove, "ll0", key, node=1,
+                                              profile="ll.remove")
+                assert got == (key in model)
+                model.discard(key)
+            else:
+                got = cluster.run_transaction(ll_contains, "ll0", key, node=2,
+                                              profile="ll.contains")
+                assert got == (key in model)
+        assert self._final_keys(cluster) == sorted(model)
+
+    def test_initial_fill_links_sorted(self, cluster):
+        wl = LinkedListWorkload(key_space=20, initial_fill=0.5)
+        wl.setup(cluster, cluster.rngs.stream("setup"))
+        keys = self._final_keys(cluster)
+        assert keys == sorted(wl.initial_members["ll0"])
+
+
+class TestBstSemantics:
+    def test_random_ops_against_model(self, cluster):
+        wl = BstWorkload(key_space=16, initial_fill=0.4)
+        wl.setup(cluster, cluster.rngs.stream("setup"))
+        model = set(k for k in range(16)
+                    if cluster.committed_value(f"bst/node{k}")[0])
+        rng = cluster.rngs.stream("ops")
+        for _ in range(80):
+            key = int(rng.integers(0, 16))
+            action = rng.random()
+            if action < 0.4:
+                got = cluster.run_transaction(bst_add, "bst", key, node=0,
+                                              profile="bst.add")
+                assert got == (key not in model)
+                model.add(key)
+            elif action < 0.8:
+                got = cluster.run_transaction(bst_remove, "bst", key, node=1,
+                                              profile="bst.remove")
+                assert got == (key in model)
+                model.discard(key)
+            else:
+                got = cluster.run_transaction(bst_contains, "bst", key,
+                                              node=2, profile="bst.contains")
+                assert got == (key in model)
+        final = {k for k in range(16)
+                 if cluster.committed_value(f"bst/node{k}")[0]}
+        # Present flags may include unreachable tombstones only if False;
+        # reachable membership must match the model.
+        reach = set()
+
+        def walk(key):
+            if key is None:
+                return
+            present, left, right = cluster.committed_value(f"bst/node{key}")
+            if present:
+                reach.add(key)
+            walk(left)
+            walk(right)
+
+        walk(cluster.committed_value("bst/root"))
+        assert reach == model
+
+
+class TestRbTreeSemantics:
+    def test_random_ops_against_model(self, cluster):
+        wl = RbTreeWorkload(key_space=24, initial_fill=0.3)
+        wl.setup(cluster, cluster.rngs.stream("setup"))
+        model = set(k for k in range(24)
+                    if cluster.committed_value(f"rb/node{k}")[0])
+        rng = cluster.rngs.stream("ops")
+        for _ in range(80):
+            key = int(rng.integers(0, 24))
+            action = rng.random()
+            if action < 0.45:
+                got = cluster.run_transaction(rb_add, "rb", key, node=0,
+                                              profile="rb.add")
+                assert got == (key not in model)
+                model.add(key)
+            elif action < 0.9:
+                got = cluster.run_transaction(rb_remove, "rb", key, node=1,
+                                              profile="rb.remove")
+                assert got == (key in model)
+                model.discard(key)
+            else:
+                got = cluster.run_transaction(rb_contains, "rb", key, node=2,
+                                              profile="rb.contains")
+                assert got == (key in model)
+        for k in range(24):
+            assert cluster.run_transaction(
+                rb_contains, "rb", k, node=3, profile="rb.contains"
+            ) == (k in model)
+
+
+class TestVacationSemantics:
+    def test_reserve_and_cancel_restore_availability(self, cluster):
+        wl = VacationWorkload()
+        wl.setup(cluster, cluster.rngs.stream("setup"))
+        cust = wl.customers[0]
+        picks = [wl.resources[k][0] for k in ("car", "flight", "room")]
+        before = cluster.run_transaction(query_availability, picks, node=0,
+                                         profile="vacation.query")
+        ok = cluster.run_transaction(make_reservation, cust, picks, 1e-4,
+                                     node=1, profile="vacation.reserve")
+        assert ok is True
+        during = cluster.run_transaction(query_availability, picks, node=2,
+                                         profile="vacation.query")
+        assert during == [a - 1 for a in before]
+        released = cluster.run_transaction(cancel_customer, cust, node=3,
+                                           profile="vacation.cancel")
+        assert released == 3
+        after = cluster.run_transaction(query_availability, picks, node=0,
+                                        profile="vacation.query")
+        assert after == before
+
+    def test_customer_record_tracks_bookings(self, cluster):
+        wl = VacationWorkload()
+        wl.setup(cluster, cluster.rngs.stream("setup"))
+        cust = wl.customers[1]
+        picks = [wl.resources[k][0] for k in ("car", "flight", "room")]
+        cluster.run_transaction(make_reservation, cust, picks, 1e-4,
+                                node=0, profile="vacation.reserve")
+        assert set(cluster.committed_value(cust)) == set(picks)
+
+
+class TestWorkloadBase:
+    def test_setup_twice_rejected(self, cluster):
+        wl = BankWorkload()
+        wl.setup(cluster, cluster.rngs.stream("s"))
+        with pytest.raises(RuntimeError):
+            wl.setup(cluster, cluster.rngs.stream("s2"))
+
+    def test_use_before_setup_rejected(self, cluster):
+        wl = BankWorkload()
+        with pytest.raises(RuntimeError):
+            wl.make_op(0, cluster.rngs.stream("r"))
+
+    def test_registry_knows_all_benchmarks(self):
+        from repro.workloads.registry import WORKLOADS, make_workload
+
+        for name in ("bank", "vacation", "ll", "bst", "rbtree", "dht"):
+            assert name in WORKLOADS
+            wl = make_workload(name, read_fraction=0.4)
+            assert wl.read_fraction == 0.4
+
+    def test_registry_unknown_name(self):
+        from repro.workloads.registry import make_workload
+
+        with pytest.raises(ValueError, match="unknown workload"):
+            make_workload("nope")
+
+
+class TestZipfChoice:
+    def test_uniform_when_s_zero(self):
+        import numpy as np
+
+        from repro.workloads.base import zipf_choice
+
+        rng = np.random.default_rng(0)
+        draws = zipf_choice(rng, 10, 0.0, size=5000)
+        counts = np.bincount(draws, minlength=10)
+        assert counts.min() > 350  # roughly uniform
+
+    def test_skew_concentrates_on_low_indices(self):
+        import numpy as np
+
+        from repro.workloads.base import zipf_choice
+
+        rng = np.random.default_rng(0)
+        draws = zipf_choice(rng, 10, 1.5, size=5000)
+        counts = np.bincount(draws, minlength=10)
+        assert counts[0] > counts[-1] * 3
+        assert counts[0] > 1000
+
+    def test_without_replacement_unique(self):
+        import numpy as np
+
+        from repro.workloads.base import zipf_choice
+
+        rng = np.random.default_rng(0)
+        draws = zipf_choice(rng, 8, 1.0, size=8, replace=False)
+        assert sorted(draws) == list(range(8))
+
+    def test_validation(self):
+        import numpy as np
+        import pytest
+
+        from repro.workloads.base import zipf_choice
+
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            zipf_choice(rng, 0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_choice(rng, 5, -1.0)
+
+    def test_skewed_dht_runs_and_conserves_semantics(self):
+        from repro.core.cluster import Cluster
+        from repro.core.config import ClusterConfig, SchedulerKind
+        from repro.core.executor import WorkloadExecutor
+        from repro.workloads.dht import DhtWorkload
+
+        cluster = Cluster(ClusterConfig(num_nodes=4, seed=3,
+                                        scheduler=SchedulerKind.RTS,
+                                        cl_threshold=4))
+        wl = DhtWorkload(read_fraction=0.5, skew=1.2)
+        ex = WorkloadExecutor(cluster, wl, workers_per_node=2, horizon=3.0)
+        ex.setup()
+        ex.run()
+        assert cluster.metrics.commits.value > 0
