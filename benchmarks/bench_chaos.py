@@ -1,0 +1,141 @@
+"""Chaos benchmark — throughput and safety under injected faults.
+
+Not a paper artefact: the paper assumes a reliable network.  This bench
+characterises the `repro.faults` subsystem instead: how much committed
+throughput survives as the message drop rate grows, that the ledger
+stays serializable throughout, and that the whole faulted timeline is
+seed-deterministic.
+
+Usage::
+
+    pytest benchmarks/bench_chaos.py            # shape assertions
+    python benchmarks/bench_chaos.py --smoke    # throughput-vs-drop table
+"""
+
+import argparse
+import os
+import sys
+
+if __package__ in (None, ""):  # executed as a script: self-locate
+    _root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    sys.path.insert(0, os.path.join(_root, "src"))
+    sys.path.insert(0, _root)
+
+import pytest
+
+from benchmarks.conftest import run_cell
+from repro.core.config import FaultConfig
+
+DROP_AXIS = (0.0, 0.01, 0.05)
+CHAOS_NODES = 6
+CHAOS_HORIZON = 6.0
+
+
+def chaos_faults(drop_rate: float, **overrides) -> FaultConfig:
+    """The acceptance-criteria fault regime at a given drop rate."""
+    kw = dict(
+        enabled=True,
+        drop_rate=drop_rate,
+        duplicate_rate=0.02,
+        extra_delay_rate=0.05,
+        extra_delay_max=0.02,
+        rpc_timeout=0.15,
+        lease_duration=0.8,
+        lease_renew_interval=0.25,
+        reclaim_grace=0.8,
+    )
+    kw.update(overrides)
+    return FaultConfig(**kw)
+
+
+def run_chaos_cell(scheduler, drop_rate, seed=1, read_fraction=0.5,
+                   **fault_overrides):
+    return run_cell(
+        "bank", scheduler, read_fraction,
+        nodes=CHAOS_NODES, horizon=CHAOS_HORIZON, seed=seed,
+        faults=chaos_faults(drop_rate, **fault_overrides),
+    )
+
+
+# ---------------------------------------------------------------------------
+# shape assertions (pytest)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("scheduler", ["rts", "tfa"])
+def test_progress_under_acceptance_drop_rate(scheduler, bench_cache):
+    """At drop <= 0.05 the cluster keeps committing transactions."""
+    r = bench_cache(
+        ("chaos", scheduler, 0.05),
+        lambda: run_chaos_cell(scheduler, 0.05),
+    )
+    assert r.extra["fault_drops"] > 0, "injection must be live"
+    assert r.commits > 10, f"{scheduler}: no progress under drops"
+
+
+def test_no_throughput_collapse_under_drops(bench_cache):
+    """Recovery overhead stays bounded: the lossy run keeps a sizeable
+    fraction of the clean run's commits.  (Faults are not strictly
+    monotone — a dropped message can kill a doomed conflict early — so
+    this is a collapse bound, not a dominance assertion.)"""
+    clean = bench_cache(
+        ("chaos", "rts", 0.0), lambda: run_chaos_cell("rts", 0.0)
+    )
+    lossy = bench_cache(
+        ("chaos", "rts", 0.05), lambda: run_chaos_cell("rts", 0.05)
+    )
+    assert clean.commits > 10
+    assert lossy.commits > clean.commits * 0.5
+
+
+def test_same_seed_same_chaos(bench_cache):
+    """The fault timeline is part of the deterministic run."""
+    a = run_chaos_cell("rts", 0.05, seed=9)
+    b = run_chaos_cell("rts", 0.05, seed=9)
+    assert (a.commits, a.sim_events, a.extra) == (b.commits, b.sim_events, b.extra)
+
+
+def test_benchmark_chaos_cell(benchmark):
+    """pytest-benchmark: wall-clock cost of one chaos cell."""
+    result = benchmark.pedantic(
+        lambda: run_chaos_cell("rts", 0.05), rounds=1, iterations=1,
+    )
+    assert result.commits > 0
+
+
+# ---------------------------------------------------------------------------
+# CLI smoke table
+# ---------------------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="print a throughput-vs-drop-rate table")
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args(argv)
+    if not args.smoke:
+        parser.print_help()
+        return 0
+
+    header = f"{'drop':>6} | {'sched':>5} | {'commits':>7} | {'tx/s':>8} | {'drops':>6} | {'retries':>7} | {'reclaims':>8}"
+    print(header)
+    print("-" * len(header))
+    for drop in DROP_AXIS:
+        for sched in ("rts", "tfa"):
+            r = run_chaos_cell(sched, drop, seed=args.seed)
+            x = r.extra
+            print(
+                f"{drop:>6.2f} | {sched:>5} | {r.commits:>7} | "
+                f"{r.throughput:>8.1f} | {x.get('fault_drops', 0):>6} | "
+                f"{x.get('rpc_retries', 0):>7} | {x.get('lease_reclaims', 0):>8}"
+            )
+            if r.commits <= 10:
+                print(f"FAIL: {sched} @ drop={drop}: only {r.commits} commits")
+                return 1
+    print("ok: progress under every drop rate")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -115,6 +115,11 @@ class TransactionHandle:
             result = yield from body(self, *args)
             return result
         child_profile = profile or f"{parent.profile}.nested"
+        if max_retries is None:
+            # Fault mode installs a default cap so a child whose read
+            # set can never validate (a registry wedged by lost
+            # messages) escalates to the root instead of spinning.
+            max_retries = getattr(engine, "nested_retry_cap", None)
         retries = 0
         while True:
             if parent.status is not TxStatus.LIVE:

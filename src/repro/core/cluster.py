@@ -23,6 +23,7 @@ from repro.dstm.directory import DirectoryShard
 from repro.dstm.objects import home_node
 from repro.dstm.proxy import TMProxy
 from repro.dstm.tfa import TFAEngine
+from repro.faults import FaultInjector, FaultPlan, RpcPolicy
 from repro.net.clocks import NodeClock
 from repro.net.network import Network
 from repro.net.node import Node
@@ -65,6 +66,23 @@ class Cluster:
         )
         self.metrics = MetricsCollector()
 
+        # Fault injection (repro.faults).  Strictly additive: with the
+        # default FaultConfig(enabled=False) no injector, heartbeats,
+        # leases or RPC timeouts exist and runs are identical to a build
+        # without the subsystem.
+        fc = config.faults
+        self.fault_plan: Optional[FaultPlan] = None
+        self.fault_injector: Optional[FaultInjector] = None
+        rpc_policy: Optional[RpcPolicy] = None
+        lease_duration: Optional[float] = None
+        if fc.enabled:
+            self.fault_plan = FaultPlan(fc, self.rngs.stream("faults"), config.num_nodes)
+            self.fault_injector = FaultInjector(
+                self.fault_plan, metrics=self.metrics, tracer=self.tracer
+            ).install(self.network)
+            rpc_policy = RpcPolicy.from_config(fc)
+            lease_duration = fc.lease_duration
+
         clock_rng = self.rngs.stream("clocks")
         self.nodes: List[Node] = []
         self.directories: List[DirectoryShard] = []
@@ -79,7 +97,13 @@ class Cluster:
             )
             node = Node(self.env, self.network, node_id, clock=clock,
                         msg_process_time=config.msg_process_time)
-            directory = DirectoryShard(node)
+            directory = DirectoryShard(
+                node,
+                lease_duration=lease_duration,
+                reclaim_grace=fc.reclaim_grace,
+                metrics=self.metrics,
+                tracer=self.tracer,
+            )
             scheduler = self._make_scheduler(node_id)
             proxy = TMProxy(
                 node,
@@ -89,13 +113,18 @@ class Cluster:
                 fallback_exec_estimate=config.fallback_exec_estimate,
                 winner_policy=config.winner_policy,
                 conflict_scope=config.conflict_scope,
+                rpc_policy=rpc_policy,
+                metrics=self.metrics,
             )
+            directory.proxy = proxy
             engine = TFAEngine(
                 proxy,
                 op_local_time=config.op_local_time,
                 nesting=config.nesting,
                 nested_commit_validation=config.nested_commit_validation,
                 abort_overhead=config.abort_overhead,
+                publish_commits=fc.enabled,
+                nested_retry_cap=fc.nested_retry_cap if fc.enabled else None,
             )
             engine.on_commit_hook = self.metrics.on_commit
             engine.on_abort_hook = self.metrics.on_abort
@@ -103,6 +132,17 @@ class Cluster:
             self.directories.append(directory)
             self.proxies.append(proxy)
             self.engines.append(engine)
+
+        if fc.enabled:
+            # Staggered lease heartbeats (phases spread over one interval
+            # so renewals never burst onto the network simultaneously).
+            interval = fc.lease_renew_interval
+            for node_id, proxy in enumerate(self.proxies):
+                offset = interval * (node_id + 1) / (config.num_nodes + 1)
+                self.env.process(
+                    proxy.lease_heartbeat(interval, offset=offset),
+                    name=f"n{node_id}.heartbeat",
+                )
 
         self._task_ids = itertools.count(1)
         self._alloc_count = 0
@@ -152,7 +192,11 @@ class Cluster:
         self._alloc_count += 1
         self.proxies[node].install_object(oid, value)
         home = home_node(oid, self.config.num_nodes)
-        self.directories[home].register(oid, owner=node, version=0)
+        # The initial value doubles as the home's first recovery snapshot
+        # (ignored when leases are off).
+        self.directories[home].register(
+            oid, owner=node, version=0, value=value, value_version=0
+        )
         return oid
 
     # ------------------------------------------------------------------
@@ -224,6 +268,28 @@ class Cluster:
             if obj is not None:
                 return obj.value
         raise KeyError(f"object {oid} not found on any node")
+
+    def authoritative_value(self, oid: str) -> Any:
+        """The committed value by the *directory's* authority (fault runs).
+
+        Under fault injection a stale copy can transiently coexist with
+        the real one (it is fenced, not yet garbage-collected), so a
+        store scan is ambiguous.  The registered owner's copy is the
+        authority; if that copy is gone (owner crashed mid-transfer) the
+        home's recovery snapshot is — that is exactly what a reclaim
+        would re-host.
+        """
+        home = home_node(oid, self.config.num_nodes)
+        directory = self.directories[home]
+        owner = directory.owner_of(oid)
+        if owner is not None:
+            obj = self.proxies[owner].store.get(oid)
+            if obj is not None:
+                return obj.value
+        snapshot = directory.snapshot_of(oid)
+        if snapshot is not None:
+            return snapshot[1]
+        return self.committed_value(oid)
 
     def scheduler_of(self, node: int) -> SchedulerPolicy:
         return self.proxies[node].scheduler

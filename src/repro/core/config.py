@@ -16,7 +16,7 @@ from repro.dstm.contention import WinnerPolicy
 from repro.dstm.transaction import NestingModel
 from repro.net.topology import MS, TopologyKind
 
-__all__ = ["ClusterConfig", "SchedulerKind"]
+__all__ = ["ClusterConfig", "FaultConfig", "SchedulerKind"]
 
 
 class SchedulerKind(str, enum.Enum):
@@ -25,6 +25,112 @@ class SchedulerKind(str, enum.Enum):
     RTS = "rts"
     TFA = "tfa"
     TFA_BACKOFF = "tfa-backoff"
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Parameterisation of the deterministic fault-injection layer.
+
+    With ``enabled=False`` (the default) the cluster builds no injector,
+    starts no heartbeats and arms no RPC timeouts: every code path is
+    byte-identical to a fault-free build (strict additivity).  With
+    ``enabled=True`` the fault timeline is generated eagerly from the
+    dedicated ``"faults"`` RNG stream, so identical seeds give identical
+    fault schedules and per-message fates.
+    """
+
+    enabled: bool = False
+
+    # -- message-level faults (per remote message, in send order) -------
+    #: probability a message is silently lost on the wire
+    drop_rate: float = 0.0
+    #: probability a message is delivered twice (fresh msg_id per copy)
+    duplicate_rate: float = 0.0
+    #: probability a message is held back by an extra uniform delay
+    extra_delay_rate: float = 0.0
+    #: upper bound of the extra delay (seconds)
+    extra_delay_max: float = 0.0
+
+    # -- link partitions ------------------------------------------------
+    #: expected partition events per simulated second (Poisson)
+    partition_rate: float = 0.0
+    #: mean partition window length (actual: uniform in [0.5x, 1.5x])
+    partition_duration: float = 0.5
+
+    # -- node crash / restart -------------------------------------------
+    #: expected crash events per simulated second, cluster-wide (Poisson)
+    crash_rate: float = 0.0
+    #: mean crash window length (actual: uniform in [0.5x, 1.5x])
+    crash_duration: float = 1.0
+    #: minimum quiet gap between consecutive crash windows.  Crashes are
+    #: generated non-overlapping (single-failure model): with one data
+    #: copy plus the home snapshot, overlapping failures of an owner and
+    #: its home could lose committed state — see DESIGN.md.
+    min_crash_gap: float = 1.5
+    #: fault events are generated over [0, schedule_horizon)
+    schedule_horizon: float = 60.0
+
+    # -- recovery: RPC timeout/retry ------------------------------------
+    #: initial reply timeout (should exceed one max round trip + queueing)
+    rpc_timeout: float = 0.25
+    #: retries after the first attempt; the timeout doubles each retry
+    rpc_max_retries: int = 5
+    rpc_backoff_factor: float = 2.0
+    rpc_backoff_cap: float = 2.0
+
+    # -- recovery: ownership leases -------------------------------------
+    #: how long a directory entry stays valid without a renewal
+    lease_duration: float = 1.5
+    #: owner heartbeat period (must be well under lease_duration)
+    lease_renew_interval: float = 0.5
+    #: extra wait before reclaiming an entry whose registered version is
+    #: ahead of the snapshot (a commit may be mid-flight)
+    reclaim_grace: float = 1.5
+
+    # -- recovery: retry bounds -----------------------------------------
+    #: nested (closed) transactions abort-and-retry at their own level;
+    #: under faults a read can stay stale forever (e.g. a straggler
+    #: registration the next commit would heal never comes), so after
+    #: this many child retries the abort escalates to the root, whose
+    #: attempts the executor bounds.  Fault-free builds keep the
+    #: unbounded paper semantics.
+    nested_retry_cap: int = 16
+
+    def replace(self, **changes) -> "FaultConfig":
+        """A modified copy (sugar over :func:`dataclasses.replace`)."""
+        return dataclasses.replace(self, **changes)
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "duplicate_rate", "extra_delay_rate"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {v}")
+        for name in (
+            "extra_delay_max", "partition_rate", "crash_rate",
+            "min_crash_gap",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        for name in (
+            "partition_duration", "crash_duration", "schedule_horizon",
+            "rpc_timeout", "lease_duration", "lease_renew_interval",
+            "reclaim_grace",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be > 0")
+        if self.rpc_max_retries < 0:
+            raise ValueError("rpc_max_retries must be >= 0")
+        if self.nested_retry_cap < 1:
+            raise ValueError("nested_retry_cap must be >= 1")
+        if self.rpc_backoff_factor < 1.0:
+            raise ValueError("rpc_backoff_factor must be >= 1")
+        if self.rpc_backoff_cap < self.rpc_timeout:
+            raise ValueError("rpc_backoff_cap must be >= rpc_timeout")
+        if self.lease_renew_interval >= self.lease_duration:
+            raise ValueError(
+                "lease_renew_interval must be < lease_duration or leases "
+                "expire between heartbeats even on healthy nodes"
+            )
 
 
 @dataclass(frozen=True)
@@ -92,6 +198,10 @@ class ClusterConfig:
     max_clock_skew: float = 0.05
     max_clock_drift: float = 1e-5
 
+    # -- fault injection -----------------------------------------------------
+    #: deterministic fault plan; disabled by default (strictly additive)
+    faults: FaultConfig = FaultConfig()
+
     # -- tracing -------------------------------------------------------------------
     trace: bool = False
     trace_categories: Optional[tuple[str, ...]] = None
@@ -114,3 +224,5 @@ class ClusterConfig:
         object.__setattr__(self, "topology", TopologyKind(self.topology))
         object.__setattr__(self, "nesting", NestingModel(self.nesting))
         object.__setattr__(self, "winner_policy", WinnerPolicy(self.winner_policy))
+        if isinstance(self.faults, dict):
+            object.__setattr__(self, "faults", FaultConfig(**self.faults))

@@ -103,5 +103,20 @@ def run_experiment(
         mean_commit_latency=m.commit_latency.mean,
         messages_sent=cluster.network.messages_sent.value,
         sim_events=cluster.env.events_processed,
-        extra={"abandoned": executor.abandoned},
+        extra=_extra(cluster, executor),
     )
+
+
+def _extra(cluster: Cluster, executor: WorkloadExecutor) -> Dict[str, Any]:
+    extra: Dict[str, Any] = {"abandoned": executor.abandoned}
+    if cluster.config.faults.enabled:
+        m = cluster.metrics
+        extra.update(
+            fault_drops=m.fault_drops.value,
+            fault_duplicates=m.fault_duplicates.value,
+            rpc_timeouts=m.rpc_timeouts.value,
+            rpc_retries=m.rpc_retries.value,
+            lease_reclaims=m.lease_reclaims.value,
+            crash_aborts=m.crash_aborts.value,
+        )
+    return extra

@@ -39,6 +39,14 @@ class MetricsCollector:
         #: window bounds for throughput computation (simulated seconds)
         self.window_start: float = 0.0
         self.window_end: float = 0.0
+        #: fault-injection counters (repro.faults); all stay 0 fault-free
+        self.fault_drops = Counter("fault_drops")
+        self.fault_duplicates = Counter("fault_duplicates")
+        self.rpc_timeouts = Counter("rpc_timeouts")
+        self.rpc_retries = Counter("rpc_retries")
+        self.lease_reclaims = Counter("lease_reclaims")
+        #: root aborts caused by an unreachable owner/home (OWNER_FAILURE)
+        self.crash_aborts = Counter("crash_aborts")
 
     # -- engine hooks ------------------------------------------------------------
 
@@ -60,6 +68,8 @@ class MetricsCollector:
         if victim.is_root:
             self.root_aborts.increment()
             self.aborts_by_reason[reason] = self.aborts_by_reason.get(reason, 0) + 1
+            if reason is AbortReason.OWNER_FAILURE:
+                self.crash_aborts.increment()
         for tx in killed:
             if tx.is_root:
                 continue
@@ -111,6 +121,12 @@ class MetricsCollector:
             "nested_aborts_parent": float(self.nested_aborts_parent.value),
             "nested_abort_rate": self.nested_abort_rate(),
             "mean_commit_latency": self.commit_latency.mean,
+            "fault_drops": float(self.fault_drops.value),
+            "fault_duplicates": float(self.fault_duplicates.value),
+            "rpc_timeouts": float(self.rpc_timeouts.value),
+            "rpc_retries": float(self.rpc_retries.value),
+            "lease_reclaims": float(self.lease_reclaims.value),
+            "crash_aborts": float(self.crash_aborts.value),
         }
 
     def __repr__(self) -> str:

@@ -10,7 +10,12 @@ from __future__ import annotations
 import enum
 from typing import Optional
 
-__all__ = ["AbortReason", "TransactionAborted", "TransactionError"]
+__all__ = [
+    "AbortReason",
+    "OwnerUnreachable",
+    "TransactionAborted",
+    "TransactionError",
+]
 
 
 class AbortReason(str, enum.Enum):
@@ -34,10 +39,29 @@ class AbortReason(str, enum.Enum):
     DOOMED_BY_REQUESTER = "doomed_by_requester"
     #: Explicit application-level abort.
     USER_ABORT = "user_abort"
+    #: A node this transaction depends on (object owner, home directory,
+    #: or validation authority) stayed unreachable through every RPC
+    #: retry, or a lease reclaim fenced our copy (fault injection).
+    OWNER_FAILURE = "owner_failure"
 
 
 class TransactionError(RuntimeError):
     """Programming errors against the transaction API (not aborts)."""
+
+
+class OwnerUnreachable(RuntimeError):
+    """An RPC peer stayed silent through every timeout/retry attempt.
+
+    Raised by :meth:`repro.dstm.proxy.TMProxy.rpc` under fault injection;
+    protocol layers convert it into a :class:`TransactionAborted` with
+    reason :attr:`AbortReason.OWNER_FAILURE`.
+    """
+
+    def __init__(self, dst: int, what: str, attempts: int) -> None:
+        super().__init__(f"node {dst} unreachable: {what} failed {attempts}x")
+        self.dst = dst
+        self.what = what
+        self.attempts = attempts
 
 
 class TransactionAborted(Exception):

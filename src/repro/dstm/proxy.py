@@ -31,11 +31,16 @@ from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from repro.dstm.contention import DoomRegistry, WinnerPolicy
 from repro.dstm.directory import DirectoryShard
-from repro.dstm.errors import AbortReason, TransactionAborted, TransactionError
+from repro.dstm.errors import (
+    AbortReason,
+    OwnerUnreachable,
+    TransactionAborted,
+    TransactionError,
+)
 from repro.dstm.objects import ObjectMode, ObjectState, VersionedObject, home_node
 from repro.dstm.transaction import ETS, Transaction
 from repro.net.message import Message, MessageType
-from repro.net.node import Node
+from repro.net.node import Node, RpcError
 from repro.scheduler.base import (
     ConflictContext,
     ConflictDecision,
@@ -86,12 +91,19 @@ class TMProxy:
         fallback_exec_estimate: float = 0.05,
         winner_policy: WinnerPolicy = WinnerPolicy.HOLDER_WINS,
         conflict_scope: str = "root",
+        rpc_policy: Optional[Any] = None,
+        metrics: Optional[Any] = None,
     ) -> None:
         self.node = node
         self.env = node.env
         self.directory = directory
         self.scheduler = scheduler
-        self.tracer = tracer if tracer is not None else Tracer()
+        self.tracer = tracer or Tracer()
+        #: timeout/retry policy for RPCs (:class:`repro.faults.RpcPolicy`);
+        #: None (fault-free build) keeps every RPC a plain blocking wait.
+        self.rpc_policy = rpc_policy
+        #: the cluster metrics collector, for fault counters (optional)
+        self.metrics = metrics
         self.fallback_exec_estimate = float(fallback_exec_estimate)
         self.winner_policy = WinnerPolicy(winner_policy)
         if conflict_scope not in ("root", "level", "mixed"):
@@ -128,12 +140,25 @@ class TMProxy:
         self.enqueue_expiries = 0
         #: how many times an expired waiter re-requests before aborting
         self.rerequest_limit = 8
+        #: fault recovery: the last ownership transfer we granted, per
+        #: oid — (requester node, requester root txid, response payload).
+        #: A transferred grant deletes our copy before the response hits
+        #: the wire; if that response is dropped the copy exists nowhere.
+        #: The same requester's RPC retry is answered from this cache
+        #: (idempotent re-grant).  Cleared when the object comes back.
+        self._granted: Dict[str, Tuple[int, str, Dict[str, Any]]] = {}
 
         node.on(MessageType.RETRIEVE_REQUEST, self._on_retrieve_request)
         node.on(MessageType.OBJECT_HANDOFF, self._on_object_handoff)
         # Fire-and-forget ownership registrations still produce acks from
         # the directory shard; absorb the ones no RPC waiter claims.
         node.on(MessageType.DIR_UPDATE_ACK, lambda _msg: None)
+        # Fault recovery: a retrieve response that arrives after its RPC
+        # timed out may carry an ownership transfer — state that must not
+        # be lost (see _on_late_retrieve_response).
+        node.on(MessageType.RETRIEVE_RESPONSE, self._on_late_retrieve_response)
+        # Heartbeat acks report which of our copies went stale.
+        node.on(MessageType.LEASE_RENEW_ACK, self._on_lease_ack)
 
     # ------------------------------------------------------------------
     # Setup-time API (used by the cluster bootstrap, outside simulation)
@@ -146,6 +171,50 @@ class TMProxy:
         obj = VersionedObject(oid, value, version)
         self.store[oid] = obj
         return obj
+
+    # ------------------------------------------------------------------
+    # RPC with timeout/retry (fault recovery)
+    # ------------------------------------------------------------------
+
+    def rpc(
+        self,
+        dst: int,
+        mtype: MessageType,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> Generator[Any, Any, Message]:
+        """A proxy RPC (generator; ``yield from``).
+
+        Without an :attr:`rpc_policy` (fault-free build) this is exactly
+        :meth:`Node.request`: a plain blocking wait, no timeout events.
+        With one, the reply is awaited under a timeout that grows
+        exponentially across retries (the timeout *is* the backoff); a
+        peer silent through every attempt raises
+        :class:`~repro.dstm.errors.OwnerUnreachable`.
+        """
+        pol = self.rpc_policy
+        if pol is None:
+            reply = yield from self.node.request(dst, mtype, payload)
+            return reply
+        attempts = pol.max_retries + 1
+        for attempt in range(attempts):
+            window = pol.nth_timeout(attempt)
+            try:
+                reply = yield from self.node.request(
+                    dst, mtype, payload, reply_timeout=window
+                )
+                return reply
+            except RpcError:
+                if self.metrics is not None:
+                    self.metrics.rpc_timeouts.increment()
+                if attempt + 1 < attempts:
+                    if self.metrics is not None:
+                        self.metrics.rpc_retries.increment()
+                    if self.tracer.wants("fault.rpc_retry"):
+                        self.tracer.emit(
+                            self.env.now, "fault.rpc_retry", mtype.value,
+                            dst=dst, attempt=attempt + 1, window=window,
+                        )
+        raise OwnerUnreachable(dst, mtype.value, attempts)
 
     # ------------------------------------------------------------------
     # Requester side: Open_Object (Algorithm 2)
@@ -169,11 +238,38 @@ class TMProxy:
         # between hops so the migration can land.
         chase_pause = max(self.node.network.topology.min_delay * 0.5, 1e-4)
         expiries = 0
+        try:
+            grant = yield from self._open_object_chase(
+                tx, root, oid, mode, ets, chase_pause, expiries
+            )
+            return grant
+        except OwnerUnreachable as exc:
+            # The owner (or the home directory) stayed silent through
+            # every retry: environmental failure, the whole root aborts
+            # and waits out the scheduler's owner-failure stall.  Lease
+            # expiry at the home makes the object retrievable again —
+            # drop our hint so the retry asks the directory, not the
+            # same dead peer.
+            self.owner_hints.pop(oid, None)
+            raise TransactionAborted(
+                root, AbortReason.OWNER_FAILURE, oid=oid, detail=str(exc)
+            )
+
+    def _open_object_chase(
+        self,
+        tx: Transaction,
+        root: Transaction,
+        oid: str,
+        mode: ObjectMode,
+        ets: ETS,
+        chase_pause: float,
+        expiries: int,
+    ) -> Generator[Any, Any, Grant]:
         for hop in range(256):
             owner = self.owner_hints.get(oid)
             if owner is None:
                 owner = yield from self._lookup_owner(oid)
-            reply = yield from self.node.request(
+            reply = yield from self.rpc(
                 owner,
                 MessageType.RETRIEVE_REQUEST,
                 {
@@ -188,7 +284,13 @@ class TMProxy:
 
             if p.get("not_owner"):
                 hint = p.get("owner_hint")
-                if hint is not None and hint != owner:
+                if hint == self.node.node_id and oid not in self.store:
+                    # Dead-end hint: the chain points back at us but the
+                    # transfer never arrived (lost on the wire).  Fall
+                    # back to the directory, whose lease reclaim is the
+                    # authority that will re-host the object.
+                    self.owner_hints.pop(oid, None)
+                elif hint is not None and hint != owner:
                     self.owner_hints[oid] = hint
                 else:
                     self.owner_hints.pop(oid, None)
@@ -262,9 +364,7 @@ class TMProxy:
 
     def _lookup_owner(self, oid: str) -> Generator[Any, Any, int]:
         home = home_node(oid, self.node.network.num_nodes)
-        reply = yield from self.node.request(
-            home, MessageType.DIR_LOOKUP, {"oid": oid}
-        )
+        reply = yield from self.rpc(home, MessageType.DIR_LOOKUP, {"oid": oid})
         p = reply.payload
         if not p["known"]:
             raise TransactionError(f"object {oid} is not registered anywhere")
@@ -321,6 +421,10 @@ class TMProxy:
         self, oid: str, payload: Dict[str, Any], holder: Optional[str]
     ) -> None:
         """Install an object whose ownership just migrated to this node."""
+        existing = self.store.get(oid)
+        if existing is not None and existing.version > int(payload["version"]):
+            return  # late duplicate of a transfer we have moved past
+        self._granted.pop(oid, None)
         obj = VersionedObject(oid, payload["value"], int(payload["version"]))
         if holder is not None:
             # Acquisition happens mid-commit: straight into validation.
@@ -335,11 +439,17 @@ class TMProxy:
                 queue_entries, bk=float(payload.get("bk", 0.0))
             )
         # Register ownership with the home directory (asynchronous: the
-        # old owner forwards stragglers to us in the meantime).
+        # old owner forwards stragglers to us in the meantime).  The
+        # last-committed value rides along so the home's recovery
+        # snapshot stays current even if the eventual commit publish is
+        # lost — transfers always carry committed state.
         home = home_node(oid, self.node.network.num_nodes)
         self.node.send(
             home, MessageType.DIR_UPDATE,
-            {"oid": oid, "owner": self.node.node_id, "version": None},
+            {
+                "oid": oid, "owner": self.node.node_id, "version": None,
+                "value": payload["value"], "value_version": int(payload["version"]),
+            },
         )
 
     def _await_handoff(
@@ -371,6 +481,14 @@ class TMProxy:
 
         obj = self.store.get(oid)
         if obj is None:
+            cached = self._granted.get(oid)
+            if cached is not None and cached[0] == msg.src and cached[1] == root_txid:
+                # The requester we transferred the object to is asking
+                # again: the response carrying the single writable copy
+                # was lost.  Re-send it (idempotent — the requester
+                # drops duplicates of a transfer it already absorbed).
+                self.node.reply(msg, MessageType.RETRIEVE_RESPONSE, dict(cached[2]))
+                return
             self.node.reply(
                 msg, MessageType.RETRIEVE_RESPONSE,
                 {
@@ -509,6 +627,13 @@ class TMProxy:
             del self.store[obj.oid]
             self._hold_started.pop(obj.oid, None)
             self.owner_hints[obj.oid] = msg.src
+            if self.rpc_policy is not None:
+                # The copy now exists only in this response; remember it
+                # so the requester's retry can be answered if the
+                # response is dropped.
+                self._granted[obj.oid] = (
+                    msg.src, msg.payload["txid"], dict(payload)
+                )
         self.node.reply(msg, MessageType.RETRIEVE_RESPONSE, payload)
 
     def _local_cl(self, oid: str) -> int:
@@ -579,18 +704,21 @@ class TMProxy:
         del self.queues[oid]
         del self.store[oid]
         self.owner_hints[oid] = acquirer.node
-        self.node.send(
-            acquirer.node, MessageType.OBJECT_HANDOFF,
-            {
-                "oid": oid, "txid": acquirer.txid, "mode": acquirer.mode.value,
-                "granted": True, "transferred": True,
-                "value": obj.value, "version": obj.version,
-                "queue": remaining, "bk": bk,
-                "local_cl": len(remaining),
-                "served_by": self.node.node_id,
-                "owner_clock": self.node.clock.tfa_clock,
-            },
-        )
+        handoff = {
+            "oid": oid, "txid": acquirer.txid, "mode": acquirer.mode.value,
+            "granted": True, "transferred": True,
+            "value": obj.value, "version": obj.version,
+            "queue": remaining, "bk": bk,
+            "local_cl": len(remaining),
+            "served_by": self.node.node_id,
+            "owner_clock": self.node.clock.tfa_clock,
+        }
+        if self.rpc_policy is not None:
+            # Same in-flight hazard as a transferred grant: if this
+            # hand-off is dropped, the acquirer's re-request (its backoff
+            # expires with no object) is served from the cache.
+            self._granted[oid] = (acquirer.node, acquirer.txid, dict(handoff))
+        self.node.send(acquirer.node, MessageType.OBJECT_HANDOFF, handoff)
 
     def _send_handoff(self, requester: Requester, obj: VersionedObject, transferred: bool) -> None:
         self.node.send(
@@ -629,12 +757,100 @@ class TMProxy:
 
         # Algorithm 4's else-branch: nobody here needs the object any more.
         if p.get("transferred"):
+            if oid in self.store:
+                # Duplicate of a hand-off we already absorbed (fault
+                # injection): the transfer happened once; drop the echo.
+                return
             # We *are* the owner now (the queue shipped with the object);
             # forward straight to the next queued requester.
             self._install_transferred(oid, p, holder=None)
             self.release_object(oid, committed=False)
         # A read hand-off with no waiter is simply dropped: shared
         # snapshots carry no state.
+
+    # ------------------------------------------------------------------
+    # Fault recovery (repro.faults)
+    # ------------------------------------------------------------------
+
+    def _on_late_retrieve_response(self, msg: Message) -> None:
+        """A RETRIEVE_RESPONSE whose RPC waiter is gone (timed out, or a
+        duplicate of one already consumed).
+
+        Snapshot grants and rejections are stale information and are
+        dropped.  A *transfer* grant, however, carries the single
+        writable copy — losing it would orphan the object until lease
+        reclaim — so we absorb the ownership and immediately release,
+        serving any queue that travelled with it.
+        """
+        p = msg.payload
+        if not p.get("granted") or not p.get("transferred"):
+            return
+        oid = p["oid"]
+        if oid in self.store:
+            return  # duplicate of a transfer we already absorbed
+        self._install_transferred(oid, p, holder=None)
+        self.release_object(oid, committed=False)
+
+    def _on_lease_ack(self, msg: Message) -> None:
+        """Heartbeat ack: the home says some of our copies are stale
+        (a lease reclaim or competing commit advanced past them)."""
+        for oid in msg.payload.get("stale", ()):
+            obj = self.store.get(oid)
+            if obj is None or obj.state is not ObjectState.FREE:
+                # Held copies are left to the version fence: the commit
+                # that holds them will be nacked and discard them itself.
+                continue
+            self.discard_object(oid)
+
+    def discard_object(self, oid: str) -> None:
+        """Drop a stale owned copy (fault recovery only)."""
+        self.store.pop(oid, None)
+        self.queues.pop(oid, None)
+        self._hold_started.pop(oid, None)
+        self._holder_start.pop(oid, None)
+        if self.owner_hints.get(oid) == self.node.node_id:
+            self.owner_hints.pop(oid, None)
+
+    def publish_commit(
+        self, oid: str, version: int, value: Any
+    ) -> Generator[Any, Any, None]:
+        """Sync a freshly committed ``(version, value)`` to the home's
+        recovery snapshot (generator process; fault mode only)."""
+        home = home_node(oid, self.node.network.num_nodes)
+        try:
+            yield from self.rpc(
+                home, MessageType.COMMIT_PUBLISH,
+                {"oid": oid, "version": int(version), "value": value},
+            )
+        except OwnerUnreachable:
+            # The home is unreachable; the periodic heartbeat will carry
+            # the same state as soon as it answers again.
+            pass
+
+    def lease_heartbeat(
+        self, interval: float, offset: float = 0.0
+    ) -> Generator[Any, Any, None]:
+        """Infinite heartbeat process: renew leases on every owned object.
+
+        Fire-and-forget (the LEASE_RENEW_ACK handler absorbs answers), so
+        a crashed or partitioned home costs nothing; ``offset`` staggers
+        the per-node phases to avoid synchronized bursts.
+        """
+        if offset > 0.0:
+            yield self.env.timeout(offset)
+        num = self.node.network.num_nodes
+        while True:
+            by_home: Dict[int, List[Tuple[str, int, Any]]] = {}
+            for oid in sorted(self.store):
+                obj = self.store[oid]
+                by_home.setdefault(home_node(oid, num), []).append(
+                    (oid, obj.version, obj.value)
+                )
+            for home, objects in sorted(by_home.items()):
+                if home == self.node.node_id:
+                    continue  # our own directory sees our copies directly
+                self.node.send(home, MessageType.LEASE_RENEW, {"objects": objects})
+            yield self.env.timeout(interval)
 
     # ------------------------------------------------------------------
     # Introspection / invariants (tests lean on these)

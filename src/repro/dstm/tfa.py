@@ -30,7 +30,12 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Generator, List, Optional, Set, Tuple
 
-from repro.dstm.errors import AbortReason, TransactionAborted, TransactionError
+from repro.dstm.errors import (
+    AbortReason,
+    OwnerUnreachable,
+    TransactionAborted,
+    TransactionError,
+)
 from repro.dstm.objects import ObjectMode, ObjectState, home_node
 from repro.dstm.proxy import TMProxy
 from repro.dstm.transaction import NestingModel, ReadEntry, Transaction, TxStatus
@@ -49,6 +54,8 @@ class TFAEngine:
         nesting: NestingModel = NestingModel.CLOSED,
         nested_commit_validation: bool = True,
         abort_overhead: float = 0.01,
+        publish_commits: bool = False,
+        nested_retry_cap: Optional[int] = None,
     ) -> None:
         self.proxy = proxy
         self.node = proxy.node
@@ -57,6 +64,13 @@ class TFAEngine:
         self.nesting = NestingModel(nesting)
         self.nested_commit_validation = bool(nested_commit_validation)
         self.abort_overhead = float(abort_overhead)
+        #: fault mode: sync every committed (version, value) to its home
+        #: directory's recovery snapshot right after commit.
+        self.publish_commits = bool(publish_commits)
+        #: fault mode: default bound on child retries before a nested
+        #: abort escalates to the root (None = unbounded, the paper's
+        #: fault-free semantics).  ``TransactionHandle.nested`` reads it.
+        self.nested_retry_cap = nested_retry_cap
         #: observer hooks (set by the metrics layer)
         self.on_commit_hook: Optional[Callable[[Transaction, float], None]] = None
         self.on_abort_hook: Optional[Callable[[Transaction, AbortReason, List[Transaction]], None]] = None
@@ -174,14 +188,25 @@ class TFAEngine:
             [(oid, v) for _, oid, v in checks], own=own
         )
         for (level, oid, _version), valid in zip(checks, results):
+            if valid is None:
+                # The home never answered (fault mode): the read cannot be
+                # proven fresh, so the whole root aborts as an
+                # environmental failure rather than a data conflict.
+                raise TransactionAborted(
+                    tx.root, AbortReason.OWNER_FAILURE, oid=oid,
+                    detail="validation home unreachable",
+                )
             if not valid:
                 return (level, oid)
         return None
 
     def _validate_versions(
         self, pairs: List[Tuple[str, int]], own: Optional[Set[str]] = None
-    ) -> Generator[Any, Any, List[bool]]:
+    ) -> Generator[Any, Any, List[Optional[bool]]]:
         """Check (oid, read version) pairs against the registered versions.
+
+        Tri-state per pair: True = fresh, False = stale, None = the home
+        was unreachable through every RPC retry (fault mode only).
 
         The home directories are the serialisation authority: an owner's
         local store lags the home registry while a commit is in flight
@@ -193,7 +218,7 @@ class TFAEngine:
         fan-out — the cost model of distributed validation).
         """
         own = own or set()
-        results: Dict[int, bool] = {}
+        results: Dict[int, Optional[bool]] = {}
         remote: List[Tuple[int, str, int]] = []
         for idx, (oid, version) in enumerate(pairs):
             obj = self.proxy.store.get(oid) if oid in own else None
@@ -212,13 +237,19 @@ class TFAEngine:
             procs = [self.env.process(gen, name="validate") for gen in events]
             answers = yield self.env.all_of(procs)
             for (idx, _oid, _version), proc in zip(remote, procs):
-                results[idx] = bool(answers[proc])
+                answer = answers[proc]
+                results[idx] = None if answer is None else bool(answer)
         return [results[i] for i in range(len(pairs))]
 
-    def _one_validate(self, home: int, oid: str, version: int) -> Generator[Any, Any, bool]:
-        reply = yield from self.node.request(
-            home, MessageType.READ_VALIDATE, {"oid": oid, "version": version}
-        )
+    def _one_validate(
+        self, home: int, oid: str, version: int
+    ) -> Generator[Any, Any, Optional[bool]]:
+        try:
+            reply = yield from self.proxy.rpc(
+                home, MessageType.READ_VALIDATE, {"oid": oid, "version": version}
+            )
+        except OwnerUnreachable:
+            return None
         return bool(reply.payload["valid"])
 
     # ------------------------------------------------------------------
@@ -244,6 +275,13 @@ class TFAEngine:
             pairs = [(oid, entry.version) for oid, entry in tx.rset.items()]
             results = yield from self._validate_versions(pairs)
             for (oid, _version), valid in zip(pairs, results):
+                if valid is None:
+                    # Unreachable home: environmental, kills the root (an
+                    # inner retry could not do better against a dead home).
+                    raise TransactionAborted(
+                        tx.root, AbortReason.OWNER_FAILURE, oid=oid,
+                        detail="validation home unreachable",
+                    )
                 if not valid:
                     raise TransactionAborted(
                         tx, AbortReason.EARLY_VALIDATION, oid=oid,
@@ -293,6 +331,8 @@ class TFAEngine:
             self._finalize_commit(root)
             return
 
+        registered = False
+        old_versions: Dict[str, int] = {}
         try:
             # 1. Acquisition phase (lazy TFA): migrate the single writable
             #    copy of every written object to this node, in sorted
@@ -322,34 +362,54 @@ class TFAEngine:
             #    read/write commits would otherwise have.
             old_versions = {oid: self.proxy.store[oid].version for oid in root.wset}
             new_versions = {oid: v + 1 for oid, v in old_versions.items()}
+            order = sorted(root.wset)
             procs = []
-            for oid in sorted(root.wset):
+            for oid in order:
                 home = home_node(oid, self.node.network.num_nodes)
                 procs.append(
                     self.env.process(
-                        self._register(home, oid, new_versions[oid]),
+                        self._register(home, oid, new_versions[oid], root.txid),
                         name="register",
                     )
                 )
-            yield self.env.all_of(procs)
+            answers = yield self.env.all_of(procs)
+            registered = True
+
+            # 2b. Inspect the acks (no-ops in the fault-free build, where
+            #     every ack is ok).  A *fenced* registration means a lease
+            #     reclaim or competing recovery superseded the copy while
+            #     we held it: the copy is stale — drop it and abort.  An
+            #     *unreachable* home leaves the registration unknown:
+            #     also abort; the withdraws in the except-arm roll back
+            #     whatever did land.
+            for oid, proc in zip(order, procs):
+                ack = answers[proc] or {}
+                if ack.get("ok", True):
+                    continue
+                if ack.get("unreachable"):
+                    raise TransactionAborted(
+                        root, AbortReason.OWNER_FAILURE, oid=oid,
+                        detail="registration home unreachable",
+                    )
+                self.proxy.discard_object(oid)
+                raise TransactionAborted(
+                    root, AbortReason.OWNER_FAILURE, oid=oid,
+                    detail="registration fenced by recovery",
+                )
 
             # 3. Read-set validation against the homes' registered
             #    versions (covers write-set anchors too: a concurrent
             #    committer that published first invalidates us here).
             stale = yield from self._validate_chain(root)
             if stale is not None:
+                raise TransactionAborted(
+                    root, AbortReason.COMMIT_VALIDATION, oid=stale[1]
+                )
+        except TransactionAborted as abort:
+            if registered:
                 # Withdraw the provisional registrations (the values were
                 # never installed) before aborting.
-                for oid in sorted(root.wset):
-                    home = home_node(oid, self.node.network.num_nodes)
-                    self.node.send(
-                        home, MessageType.DIR_UPDATE,
-                        {"oid": oid, "owner": self.node.node_id,
-                         "version": old_versions[oid]},
-                    )
-                self.abort_root(root, AbortReason.COMMIT_VALIDATION, oid=stale[1])
-                raise TransactionAborted(root, AbortReason.COMMIT_VALIDATION, oid=stale[1])
-        except TransactionAborted as abort:
+                self._withdraw_registrations(old_versions, root.txid)
             self.abort_root(root, abort.reason, oid=abort.oid)
             raise
         except BaseException:
@@ -364,15 +424,78 @@ class TFAEngine:
         for oid, value in root.wset.items():
             self.proxy.store[oid].commit_write(value)
         root.status = TxStatus.COMMITTED
+        if self.publish_commits:
+            # Capture before release: the hand-off may migrate the object
+            # away in the same turn.
+            to_publish = [
+                (oid, new_versions[oid], root.wset[oid]) for oid in sorted(root.wset)
+            ]
+        else:
+            to_publish = []
         for oid in sorted(root.wset):
             self.proxy.release_object(oid, committed=True)
+        for oid, version, value in to_publish:
+            self.env.process(
+                self.proxy.publish_commit(oid, version, value), name="publish"
+            )
         self._finalize_commit(root)
 
-    def _register(self, home: int, oid: str, version: int) -> Generator[Any, Any, None]:
-        yield from self.node.request(
-            home, MessageType.DIR_UPDATE,
-            {"oid": oid, "owner": self.node.node_id, "version": version},
-        )
+    def _register(
+        self, home: int, oid: str, version: int, txid: str
+    ) -> Generator[Any, Any, Dict[str, Any]]:
+        """One commit-time ownership registration; returns the ack payload
+        (synthesises a failure ack when the home is unreachable).
+
+        ``txid`` identifies this commit *attempt*: a later withdraw only
+        cancels the registration carrying the same txid, so a duplicated
+        or late withdraw can never roll back a different (successful)
+        registration by the same owner.
+        """
+        try:
+            reply = yield from self.proxy.rpc(
+                home, MessageType.DIR_UPDATE,
+                {"oid": oid, "owner": self.node.node_id, "version": version,
+                 "txid": txid},
+            )
+        except OwnerUnreachable:
+            return {"oid": oid, "ok": False, "unreachable": True}
+        return reply.payload
+
+    def _withdraw_registrations(
+        self, old_versions: Dict[str, int], txid: str
+    ) -> None:
+        """Roll back step 2's provisional registrations.
+
+        Homes honour a withdraw only while the sender is still the
+        registered owner and the withdrawn registration (same txid, same
+        version transition) is the one in place, so sending one for a
+        fenced or superseded oid is harmless.  Under fault injection the
+        withdraw is retried (a lost withdraw would leave the registered
+        version ahead of the committed copy, starving readers of the
+        object until its next write commit); fault-free it stays a single
+        fire-and-forget send.
+        """
+        for oid in sorted(old_versions):
+            home = home_node(oid, self.node.network.num_nodes)
+            payload = {
+                "oid": oid, "owner": self.node.node_id,
+                "version": old_versions[oid], "withdraw": True,
+                "txid": txid,
+            }
+            if self.proxy.rpc_policy is None:
+                self.node.send(home, MessageType.DIR_UPDATE, payload)
+            else:
+                self.env.process(
+                    self._withdraw_one(home, payload), name="withdraw"
+                )
+
+    def _withdraw_one(
+        self, home: int, payload: Dict[str, Any]
+    ) -> Generator[Any, Any, None]:
+        try:
+            yield from self.proxy.rpc(home, MessageType.DIR_UPDATE, payload)
+        except OwnerUnreachable:
+            pass  # crashed home: its stale registration heals via reclaim
 
     def _finalize_commit(self, root: Transaction) -> None:
         root.status = TxStatus.COMMITTED

@@ -1,0 +1,31 @@
+"""Deterministic fault injection and failure recovery (``repro.faults``).
+
+The subsystem has two halves:
+
+* **injection** — :class:`FaultPlan` turns a
+  :class:`~repro.core.config.FaultConfig` plus the dedicated ``"faults"``
+  RNG stream into a concrete fault timeline (crash windows, partition
+  windows, per-message fates); :class:`FaultInjector` installs that plan
+  onto a :class:`~repro.net.network.Network`, deciding each message's
+  fate at send time and vetoing delivery to crashed nodes;
+* **recovery** — :class:`RpcPolicy` parameterises the proxy's
+  timeout/retry RPC wrapper; the lease/reclaim machinery lives in
+  :class:`~repro.dstm.directory.DirectoryShard` and the heartbeat and
+  commit-publish processes in :class:`~repro.dstm.proxy.TMProxy`.
+
+Everything is driven from config-seeded RNG streams: identical seeds
+produce identical fault timelines and therefore bit-identical runs.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import CrashWindow, FaultPlan, MessageFate, PartitionWindow
+from repro.faults.recovery import RpcPolicy
+
+__all__ = [
+    "CrashWindow",
+    "FaultInjector",
+    "FaultPlan",
+    "MessageFate",
+    "PartitionWindow",
+    "RpcPolicy",
+]

@@ -34,8 +34,13 @@ class MessageType(str, enum.Enum):
 
     # Commit protocol
     COMMIT_PUBLISH = "commit_publish"        # new versions announced
+    COMMIT_PUBLISH_ACK = "commit_publish_ack"
     READ_VALIDATE = "read_validate"          # version check during forwarding
     READ_VALIDATE_REPLY = "read_validate_reply"
+
+    # Failure recovery (repro.faults): ownership-lease heartbeats
+    LEASE_RENEW = "lease_renew"              # owner -> home: I'm alive
+    LEASE_RENEW_ACK = "lease_renew_ack"      # home -> owner: + stale oids
 
     # Arrow distributed directory (alternative CC locator; ablation A9)
     ARROW_FIND = "arrow_find"

@@ -33,11 +33,13 @@ class Network:
     ) -> None:
         self.env = env
         self.topology = topology
-        # Note: explicit None test — Tracer defines __len__, so an empty
-        # tracer is falsy and `tracer or Tracer()` would discard it.
-        self.tracer = tracer if tracer is not None else Tracer()
+        self.tracer = tracer or Tracer()
         self.local_delay = float(local_delay)
         self._nodes: Dict[int, "Node"] = {}
+        #: optional :class:`repro.faults.FaultInjector`; when set, it
+        #: decides each message's fate (drop / duplicate / extra delay)
+        #: at send time and can veto delivery (crashed destination).
+        self.injector = None
         # Instrumentation
         self.messages_sent = Counter("net.messages_sent")
         self.messages_delivered = Counter("net.messages_delivered")
@@ -84,12 +86,33 @@ class Network:
                 mtype=msg.mtype.value, src=msg.src, dst=msg.dst, delay=delay,
             )
         deliver_at = self.env.now + delay
+        if self.injector is not None:
+            delays = self.injector.on_send(msg, delay)
+            if not delays:
+                return deliver_at  # dropped on the wire
+            for i, d in enumerate(delays):
+                copy = msg if i == 0 else self._clone(msg)
+                timeout = self.env.timeout(d, value=copy)
+                timeout.add_callback(self._deliver)
+            return self.env.now + delays[0]
         timeout = self.env.timeout(delay, value=msg)
         timeout.add_callback(self._deliver)
         return deliver_at
 
+    def _clone(self, msg: Message) -> Message:
+        """A duplicate delivery: fresh msg_id (the wire re-delivered the
+        datagram; it is *not* the same RPC), shallow-copied payload."""
+        copy = Message(
+            msg.mtype, msg.src, msg.dst, dict(msg.payload),
+            clock=msg.clock, reply_to=msg.reply_to,
+        )
+        copy.sent_at = msg.sent_at
+        return copy
+
     def _deliver(self, event) -> None:
         msg: Message = event.value
+        if self.injector is not None and not self.injector.on_deliver(msg):
+            return  # destination crashed while the message was in flight
         self.messages_delivered.increment()
         if self.tracer.wants("net.recv"):
             self.tracer.emit(

@@ -62,6 +62,10 @@ class Node:
         #: total messages processed and cumulative queueing delay
         self.messages_processed = 0
         self.total_queueing_delay = 0.0
+        #: replies that arrived after their RPC waiter gave up (timeout)
+        #: and that no handler wanted — dropped, counted here.  Only
+        #: nonzero under fault injection.
+        self.late_replies = 0
         network.attach(self)
 
     # -- handler registry -------------------------------------------------------
@@ -112,6 +116,13 @@ class Node:
             # (the RTS object hand-off after backoff expiry needs this).
         handler = self._handlers.get(msg.mtype)
         if handler is None:
+            if msg.reply_to is not None:
+                # A reply to an RPC that timed out and moved on (fault
+                # injection): stale information, safe to discard.  Replies
+                # that carry recoverable state (object transfers) have
+                # dedicated handlers and never reach this branch.
+                self.late_replies += 1
+                return
             raise LookupError(
                 f"node {self.node_id} has no handler for {msg.mtype} "
                 f"(message {msg!r})"

@@ -44,9 +44,15 @@ class BackoffScheduler(SchedulerPolicy):
         return ConflictDecision.abort()
 
     def retry_backoff(self, root: Transaction, reason: AbortReason, attempt: int) -> float:
-        # Conflict-driven aborts back off; validation failures retry
-        # immediately (backing off would not help: the read is already stale).
-        if reason not in (AbortReason.BUSY_OBJECT, AbortReason.BACKOFF_EXPIRED):
+        # Conflict-driven aborts back off, and so do owner failures (the
+        # peer needs time to restart or be reclaimed); validation failures
+        # retry immediately (backing off would not help: the read is
+        # already stale).
+        if reason not in (
+            AbortReason.BUSY_OBJECT,
+            AbortReason.BACKOFF_EXPIRED,
+            AbortReason.OWNER_FAILURE,
+        ):
             return 0.0
         ceiling = min(self.cap, self.base * (2.0 ** min(attempt, 16)))
         return float(self._rng.uniform(self.base, max(self.base, ceiling)))

@@ -155,6 +155,13 @@ class RtsScheduler(SchedulerPolicy):
     # -- requester side ------------------------------------------------------------
 
     def retry_backoff(self, root: Transaction, reason: AbortReason, attempt: int) -> float:
+        if reason is AbortReason.OWNER_FAILURE:
+            # Environmental failure: the owner (or a home) is unreachable.
+            # Retrying immediately would just burn the full RPC-timeout
+            # ladder again, so stall deterministically, doubling up to the
+            # scheduler's backoff ceiling while the lease machinery
+            # recovers the object.
+            return min(self.max_backoff, 0.025 * 2.0 ** min(attempt, 6))
         # RTS parks live transactions in owner-side queues; dead ones
         # restart immediately.
         return 0.0

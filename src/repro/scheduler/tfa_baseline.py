@@ -24,4 +24,9 @@ class TfaScheduler(SchedulerPolicy):
         return ConflictDecision.abort()
 
     def retry_backoff(self, root: Transaction, reason: AbortReason, attempt: int) -> float:
+        if reason is AbortReason.OWNER_FAILURE:
+            # Even the scheduler-less baseline must not spin against a
+            # crashed owner: deterministic doubling stall, capped at 1s,
+            # while lease recovery re-hosts the object.
+            return min(1.0, 0.025 * 2.0 ** min(attempt, 6))
         return 0.0

@@ -88,6 +88,12 @@ class Tracer:
     def __len__(self) -> int:
         return len(self._records)
 
+    def __bool__(self) -> bool:
+        # A tracer is a sink, not a container: an *empty* tracer must not
+        # be falsy, or `tracer or Tracer()` at wiring sites would discard
+        # a configured-but-quiet instance.
+        return True
+
     def __iter__(self) -> Iterator[TraceRecord]:
         return iter(self._records)
 
