@@ -49,11 +49,12 @@ def chaos_faults(drop_rate: float, **overrides) -> FaultConfig:
 
 
 def run_chaos_cell(scheduler, drop_rate, seed=1, read_fraction=0.5,
-                   **fault_overrides):
+                   obs=None, **fault_overrides):
     return run_cell(
         "bank", scheduler, read_fraction,
         nodes=CHAOS_NODES, horizon=CHAOS_HORIZON, seed=seed,
         faults=chaos_faults(drop_rate, **fault_overrides),
+        **({"obs": obs} if obs is not None else {}),
     )
 
 
@@ -113,17 +114,29 @@ def main(argv=None) -> int:
     parser.add_argument("--smoke", action="store_true",
                         help="print a throughput-vs-drop-rate table")
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--trace-out", metavar="RUN.JSONL", default=None,
+                        help="export an obs event log (repro.obs) for the "
+                             "highest-drop rts cell; inspect with "
+                             "`python -m repro.obs.report RUN.JSONL`")
+    parser.add_argument("--chrome-out", metavar="TRACE.JSON", default=None,
+                        help="export a Chrome trace_event file (load in "
+                             "Perfetto / chrome://tracing) for the same cell")
     args = parser.parse_args(argv)
     if not args.smoke:
         parser.print_help()
         return 0
 
+    traced_cell = (DROP_AXIS[-1], "rts")
     header = f"{'drop':>6} | {'sched':>5} | {'commits':>7} | {'tx/s':>8} | {'drops':>6} | {'retries':>7} | {'reclaims':>8}"
     print(header)
     print("-" * len(header))
     for drop in DROP_AXIS:
         for sched in ("rts", "tfa"):
-            r = run_chaos_cell(sched, drop, seed=args.seed)
+            obs = None
+            if (drop, sched) == traced_cell and (args.trace_out or args.chrome_out):
+                obs = dict(enabled=True, jsonl_path=args.trace_out,
+                           chrome_path=args.chrome_out)
+            r = run_chaos_cell(sched, drop, seed=args.seed, obs=obs)
             x = r.extra
             print(
                 f"{drop:>6.2f} | {sched:>5} | {r.commits:>7} | "
@@ -134,6 +147,11 @@ def main(argv=None) -> int:
                 print(f"FAIL: {sched} @ drop={drop}: only {r.commits} commits")
                 return 1
     print("ok: progress under every drop rate")
+    if args.trace_out:
+        print(f"obs event log: {args.trace_out} "
+              f"(python -m repro.obs.report {args.trace_out})")
+    if args.chrome_out:
+        print(f"chrome trace: {args.chrome_out} (load in Perfetto)")
     return 0
 
 

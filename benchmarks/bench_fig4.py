@@ -3,7 +3,21 @@
 Bench-scale series over a reduced node axis; asserts the figure's shape
 properties (throughput grows with node count; RTS is competitive with
 the baselines).  Full series: ``python -m repro.analysis.reproduce fig4``.
+
+Usage::
+
+    pytest benchmarks/bench_fig4.py                          # shape assertions
+    python benchmarks/bench_fig4.py --trace-out run.jsonl    # traced cell
 """
+
+import argparse
+import os
+import sys
+
+if __package__ in (None, ""):  # executed as a script: self-locate
+    _root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    sys.path.insert(0, os.path.join(_root, "src"))
+    sys.path.insert(0, _root)
 
 import pytest
 
@@ -47,3 +61,42 @@ def test_benchmark_fig4_cell(benchmark):
         lambda: run_cell("ll", "rts", 0.9, nodes=12), rounds=1, iterations=1,
     )
     assert result.commits > 0
+
+
+# ---------------------------------------------------------------------------
+# CLI: one traced Figure-4 cell (the README observability quickstart)
+# ---------------------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workload", default="bank", choices=sorted(BENCHMARKS))
+    parser.add_argument("--scheduler", default="rts")
+    parser.add_argument("--nodes", type=int, default=12)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--trace-out", metavar="RUN.JSONL", default=None,
+                        help="export an obs event log; inspect with "
+                             "`python -m repro.obs.report RUN.JSONL`")
+    parser.add_argument("--chrome-out", metavar="TRACE.JSON", default=None,
+                        help="export a Chrome trace_event file (Perfetto)")
+    args = parser.parse_args(argv)
+
+    kwargs = {}
+    if args.trace_out or args.chrome_out:
+        kwargs["obs"] = dict(enabled=True, jsonl_path=args.trace_out,
+                             chrome_path=args.chrome_out)
+    r = run_cell(args.workload, args.scheduler, 0.9,
+                 nodes=args.nodes, seed=args.seed, **kwargs)
+    print(f"{args.workload}/{args.scheduler} @ {args.nodes} nodes: "
+          f"{r.commits} commits, {r.throughput:.1f} tx/s, "
+          f"abort_ratio={r.abort_ratio:.3f}")
+    if args.trace_out:
+        print(f"obs event log: {args.trace_out} "
+              f"(python -m repro.obs.report {args.trace_out})")
+    if args.chrome_out:
+        print(f"chrome trace: {args.chrome_out} (load in Perfetto)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -120,6 +120,8 @@ class TransactionHandle:
             # set can never validate (a registry wedged by lost
             # messages) escalates to the root instead of spinning.
             max_retries = getattr(engine, "nested_retry_cap", None)
+        tracer = engine.proxy.tracer
+        node_tag = f"n{engine.node.node_id}"
         retries = 0
         while True:
             if parent.status is not TxStatus.LIVE:
@@ -128,17 +130,45 @@ class TransactionHandle:
                 )
             child = engine.begin(profile=child_profile, parent=parent)
             handle = TransactionHandle(engine, child)
+            span_on = tracer.wants("span.begin")
+            if span_on:
+                tracer.emit(
+                    engine.env.now, "span.begin", child.txid,
+                    task=child.task_id, node=node_tag, attempt=retries,
+                    profile=child_profile, depth=child.depth,
+                    parent=parent.txid,
+                )
             try:
                 result = yield from body(handle, *args)
                 yield from engine.commit_nested(child)
+                if span_on:
+                    tracer.emit(
+                        engine.env.now, "span.end", child.txid,
+                        task=child.task_id, node=node_tag, outcome="commit",
+                        depth=child.depth,
+                    )
                 return result
             except TransactionAborted as abort:
                 if abort.victim is not child:
                     # An ancestor (or the root) is the victim: let the
                     # matching frame handle it.  The child dies with it;
                     # accounting happens in the ancestor's abort.
+                    if span_on:
+                        tracer.emit(
+                            engine.env.now, "span.end", child.txid,
+                            task=child.task_id, node=node_tag, outcome="abort",
+                            reason=abort.reason.value, oid=abort.oid or "",
+                            depth=child.depth,
+                        )
                     raise
                 engine.abort_nested(child, abort.reason)
+                if span_on:
+                    tracer.emit(
+                        engine.env.now, "span.end", child.txid,
+                        task=child.task_id, node=node_tag, outcome="abort",
+                        reason=abort.reason.value, oid=abort.oid or "",
+                        depth=child.depth,
+                    )
                 # Detach the dead attempt so unbounded retries cannot grow
                 # the parent's children list (and with it, memory).
                 parent.children.remove(child)
@@ -255,13 +285,27 @@ def run_root(
             task_id = cluster.new_task_id(node_id)
         else:
             task_id = f"task-n{node_id}-x{next(_anon_task_ids)}"
+    tracer = engine.proxy.tracer
     attempt = 0
     while True:
         root = engine.begin(profile=profile, task_id=task_id)
         handle = TransactionHandle(engine, root)
+        span_on = tracer.wants("span.begin")
+        if span_on:
+            tracer.emit(
+                env.now, "span.begin", root.txid,
+                task=task_id, node=f"n{node_id}", attempt=attempt,
+                profile=profile, depth=0,
+            )
         try:
             result = yield from body(handle, *args)
             yield from engine.commit_root(root)
+            if span_on:
+                tracer.emit(
+                    env.now, "span.end", root.txid,
+                    task=task_id, node=f"n{node_id}", outcome="commit",
+                    depth=0,
+                )
             if info is not None:
                 info["txid"] = root.txid
                 info["attempts"] = attempt + 1
@@ -273,6 +317,13 @@ def run_root(
                     f"abort of {abort.victim.txid} escaped to foreign root {root.txid}"
                 ) from abort
             engine.abort_root(root, abort.reason, oid=abort.oid)
+            if span_on:
+                tracer.emit(
+                    env.now, "span.end", root.txid,
+                    task=task_id, node=f"n{node_id}", outcome="abort",
+                    reason=abort.reason.value, oid=abort.oid or "",
+                    depth=0,
+                )
             if root.compensations:
                 # Open-nested children already committed globally: undo
                 # them (reverse order) before this attempt is retried or

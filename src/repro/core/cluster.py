@@ -15,7 +15,7 @@ proxies and TFA engines, and exposes the user-facing API:
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Dict, Generator, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, Generator, List, Optional
 
 from repro.core.config import ClusterConfig, SchedulerKind
 from repro.core.metrics import MetricsCollector
@@ -35,6 +35,9 @@ from repro.scheduler.rts import RtsScheduler
 from repro.scheduler.tfa_baseline import TfaScheduler
 from repro.sim import Environment, RngRegistry, Tracer
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import ObsRecorder
+
 __all__ = ["Cluster"]
 
 
@@ -49,10 +52,31 @@ class Cluster:
         self.config = config
         self.env = Environment()
         self.rngs = RngRegistry(seed=config.seed)
-        self.tracer = Tracer(
-            enabled=config.trace,
-            categories=set(config.trace_categories) if config.trace_categories else None,
-        )
+
+        # Observability (repro.obs).  Strictly additive like faults: the
+        # default ObsConfig(enabled=False) builds no recorder and leaves
+        # the tracer exactly as trace/trace_categories configure it.
+        oc = config.obs
+        trace_cats = set(config.trace_categories) if config.trace_categories else None
+        self.obs: Optional["ObsRecorder"] = None
+        if oc.enabled:
+            from repro.obs import OBS_CATEGORIES, ObsRecorder
+
+            if config.trace and trace_cats is None:
+                cats = None  # the user asked for everything
+            else:
+                cats = set(OBS_CATEGORIES) | (trace_cats or set())
+            self.tracer = Tracer(
+                enabled=True, categories=cats, keep_records=config.trace
+            )
+            self.obs = ObsRecorder(
+                window=oc.window,
+                jsonl_path=oc.jsonl_path,
+                chrome_path=oc.chrome_path,
+            )
+            self.tracer.attach_sink(self.obs)
+        else:
+            self.tracer = Tracer(enabled=config.trace, categories=trace_cats)
         self.topology = Topology(
             config.num_nodes,
             self.rngs.stream("topology"),
@@ -64,7 +88,7 @@ class Cluster:
             self.env, self.topology, tracer=self.tracer,
             local_delay=config.local_loopback_delay,
         )
-        self.metrics = MetricsCollector()
+        self.metrics = MetricsCollector(keep_latency_samples=oc.enabled)
 
         # Fault injection (repro.faults).  Strictly additive: with the
         # default FaultConfig(enabled=False) no injector, heartbeats,
@@ -247,6 +271,17 @@ class Cluster:
     def run(self, until: Optional[float] = None) -> None:
         """Advance the simulation (to ``until`` or exhaustion)."""
         self.env.run(until=until)
+
+    def finish_obs(self) -> Optional[Dict[str, Any]]:
+        """Flush/close observability exports and return the obs summary.
+
+        No-op (returns None) when the obs layer is disabled.  Idempotent
+        for the summary; the file sinks are closed on the first call.
+        """
+        if self.obs is None:
+            return None
+        self.tracer.close_sinks()
+        return self.obs.summary(now=self.env.now)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -16,7 +16,7 @@ from repro.dstm.contention import WinnerPolicy
 from repro.dstm.transaction import NestingModel
 from repro.net.topology import MS, TopologyKind
 
-__all__ = ["ClusterConfig", "FaultConfig", "SchedulerKind"]
+__all__ = ["ClusterConfig", "FaultConfig", "ObsConfig", "SchedulerKind"]
 
 
 class SchedulerKind(str, enum.Enum):
@@ -134,6 +134,37 @@ class FaultConfig:
 
 
 @dataclass(frozen=True)
+class ObsConfig:
+    """Parameterisation of the observability layer (``repro.obs``).
+
+    With ``enabled=False`` (the default) the cluster builds no recorder
+    and the tracer stays exactly as the ``trace``/``trace_categories``
+    knobs configure it: the disabled path costs one boolean guard per
+    emission site, same as before.  With ``enabled=True`` an
+    :class:`~repro.obs.ObsRecorder` sink is attached to the tracer and
+    every ``repro.obs`` event category is enabled; events stream to the
+    recorder (and optionally to JSONL / Chrome trace files) without
+    unbounded in-memory accumulation.
+    """
+
+    enabled: bool = False
+    #: stream every event to this JSONL file (None = no file export)
+    jsonl_path: Optional[str] = None
+    #: stream a Chrome trace_event (Perfetto-loadable) file here
+    chrome_path: Optional[str] = None
+    #: per-node throughput/abort bucketing window (simulated seconds)
+    window: float = 0.25
+
+    def replace(self, **changes) -> "ObsConfig":
+        """A modified copy (sugar over :func:`dataclasses.replace`)."""
+        return dataclasses.replace(self, **changes)
+
+    def __post_init__(self) -> None:
+        if self.window <= 0:
+            raise ValueError(f"window must be > 0, got {self.window}")
+
+
+@dataclass(frozen=True)
 class ClusterConfig:
     """Full parameterisation of a simulated D-STM deployment."""
 
@@ -205,6 +236,9 @@ class ClusterConfig:
     # -- tracing -------------------------------------------------------------------
     trace: bool = False
     trace_categories: Optional[tuple[str, ...]] = None
+    #: observability layer (spans, time-series, exports); disabled by
+    #: default and strictly additive like ``faults``
+    obs: ObsConfig = ObsConfig()
 
     def replace(self, **changes) -> "ClusterConfig":
         """A modified copy (sugar over :func:`dataclasses.replace`)."""
@@ -226,3 +260,5 @@ class ClusterConfig:
         object.__setattr__(self, "winner_policy", WinnerPolicy(self.winner_policy))
         if isinstance(self.faults, dict):
             object.__setattr__(self, "faults", FaultConfig(**self.faults))
+        if isinstance(self.obs, dict):
+            object.__setattr__(self, "obs", ObsConfig(**self.obs))

@@ -84,6 +84,7 @@ def run_experiment(
     )
     executor.setup()
     executor.run()
+    obs_summary = cluster.finish_obs()
 
     m = cluster.metrics
     return ExperimentResult(
@@ -103,12 +104,19 @@ def run_experiment(
         mean_commit_latency=m.commit_latency.mean,
         messages_sent=cluster.network.messages_sent.value,
         sim_events=cluster.env.events_processed,
-        extra=_extra(cluster, executor),
+        extra=_extra(cluster, executor, obs_summary),
     )
 
 
-def _extra(cluster: Cluster, executor: WorkloadExecutor) -> Dict[str, Any]:
+def _extra(
+    cluster: Cluster,
+    executor: WorkloadExecutor,
+    obs_summary: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
     extra: Dict[str, Any] = {"abandoned": executor.abandoned}
+    if obs_summary is not None:
+        extra["obs_events"] = cluster.obs.events if cluster.obs is not None else 0
+        extra["obs"] = obs_summary
     if cluster.config.faults.enabled:
         m = cluster.metrics
         extra.update(

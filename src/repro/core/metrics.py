@@ -113,7 +113,7 @@ class MetricsCollector:
         return self.commits.value / elapsed if elapsed > 0 else 0.0
 
     def summary(self) -> Dict[str, float]:
-        return {
+        out = {
             "commits": float(self.commits.value),
             "root_aborts": float(self.root_aborts.value),
             "abort_ratio": self.abort_ratio(),
@@ -128,6 +128,13 @@ class MetricsCollector:
             "lease_reclaims": float(self.lease_reclaims.value),
             "crash_aborts": float(self.crash_aborts.value),
         }
+        if self.window_end - self.window_start > 0:
+            out["throughput"] = self.throughput()
+        if self.commit_latency.keep_samples and self.commit_latency.count > 0:
+            out["commit_latency_p50"] = self.commit_latency.percentile(50)
+            out["commit_latency_p95"] = self.commit_latency.percentile(95)
+            out["commit_latency_p99"] = self.commit_latency.percentile(99)
+        return out
 
     def __repr__(self) -> str:
         return (

@@ -327,6 +327,13 @@ class DirectoryShard:
                 )
                 return
 
+        if self.tracer.wants("dir.owner") and (entry is None or entry.owner != owner):
+            # Ownership-migration audit: the registered owner changes.
+            self.tracer.emit(
+                self.node.env.now, "dir.owner", oid,
+                node=f"n{self.node.node_id}", owner=owner,
+                prev=entry.owner if entry is not None else -1,
+            )
         self.register(
             oid, owner, version,
             value=p["value"] if "value" in p else _UNSET,

@@ -191,9 +191,20 @@ class TMProxy:
         peer silent through every attempt raises
         :class:`~repro.dstm.errors.OwnerUnreachable`.
         """
+        rpc_trace = self.tracer.wants("rpc.issue")
+        if rpc_trace:
+            self.tracer.emit(
+                self.env.now, "rpc.issue", mtype.value,
+                node=f"n{self.node.node_id}", dst=dst,
+            )
         pol = self.rpc_policy
         if pol is None:
             reply = yield from self.node.request(dst, mtype, payload)
+            if rpc_trace:
+                self.tracer.emit(
+                    self.env.now, "rpc.done", mtype.value,
+                    node=f"n{self.node.node_id}", dst=dst, ok=True, retries=0,
+                )
             return reply
         attempts = pol.max_retries + 1
         for attempt in range(attempts):
@@ -202,6 +213,12 @@ class TMProxy:
                 reply = yield from self.node.request(
                     dst, mtype, payload, reply_timeout=window
                 )
+                if rpc_trace:
+                    self.tracer.emit(
+                        self.env.now, "rpc.done", mtype.value,
+                        node=f"n{self.node.node_id}", dst=dst, ok=True,
+                        retries=attempt,
+                    )
                 return reply
             except RpcError:
                 if self.metrics is not None:
@@ -214,6 +231,12 @@ class TMProxy:
                             self.env.now, "fault.rpc_retry", mtype.value,
                             dst=dst, attempt=attempt + 1, window=window,
                         )
+        if rpc_trace:
+            self.tracer.emit(
+                self.env.now, "rpc.done", mtype.value,
+                node=f"n{self.node.node_id}", dst=dst, ok=False,
+                retries=pol.max_retries,
+            )
         raise OwnerUnreachable(dst, mtype.value, attempts)
 
     # ------------------------------------------------------------------
@@ -233,6 +256,12 @@ class TMProxy:
         """
         root = tx.root
         ets = self._build_ets(root)
+        span_on = self.tracer.wants("span.phase")
+        if span_on:
+            self.tracer.emit(
+                self.env.now, "span.phase", tx.txid,
+                phase="open", edge="B", oid=oid,
+            )
         # While an ownership hand-off is in flight, both the directory and
         # the hint chain can be transiently stale; chasing pauses briefly
         # between hops so the migration can land.
@@ -242,6 +271,11 @@ class TMProxy:
             grant = yield from self._open_object_chase(
                 tx, root, oid, mode, ets, chase_pause, expiries
             )
+            if span_on:
+                self.tracer.emit(
+                    self.env.now, "span.phase", tx.txid,
+                    phase="open", edge="E", oid=oid,
+                )
             return grant
         except OwnerUnreachable as exc:
             # The owner (or the home directory) stayed silent through
@@ -305,9 +339,21 @@ class TMProxy:
                 # scheduler budget); bounded by a generous cap purely as
                 # a live-lock safety valve.
                 budget = p["backoff"] if p["backoff"] is not None else 30.0
+                span_on = self.tracer.wants("span.phase")
+                if span_on:
+                    self.tracer.emit(
+                        self.env.now, "span.phase", tx.txid,
+                        phase="queue", edge="B", oid=oid,
+                    )
                 grant_payload = yield from self._await_handoff(
                     root, oid, float(budget)
                 )
+                if span_on:
+                    self.tracer.emit(
+                        self.env.now, "span.phase", tx.txid,
+                        phase="queue", edge="E", oid=oid,
+                        won=grant_payload is not None,
+                    )
                 if grant_payload is None:
                     # Backoff expired before the object arrived.  §III-B:
                     # "the transaction requests the object and is enqueued
@@ -438,6 +484,8 @@ class TMProxy:
             self.queues[oid] = RequesterList.from_snapshot(
                 queue_entries, bk=float(payload.get("bk", 0.0))
             )
+            if self.tracer.wants("obs.queue"):
+                self._trace_queue(oid)
         # Register ownership with the home directory (asynchronous: the
         # old owner forwards stragglers to us in the meantime).  The
         # last-committed value rides along so the home's recovery
@@ -538,6 +586,16 @@ class TMProxy:
                     ets=ETS(s, r, c), enqueued_at=now, local_wait=True,
                 ),
             )
+            if self.tracer.wants("sched.decision"):
+                self.tracer.emit(
+                    self.env.now, "sched.decision", oid,
+                    node=f"n{self.node.node_id}", txid=root_txid,
+                    action="local_wait", cause="local",
+                    cl=queue.get_contention(), threshold=0,
+                    bk=queue.bk, elapsed=r - s, backoff=0.0,
+                )
+            if self.tracer.wants("obs.queue"):
+                self._trace_queue(oid)
             self.node.reply(
                 msg, MessageType.RETRIEVE_RESPONSE,
                 {
@@ -585,7 +643,18 @@ class TMProxy:
                 txid=root_txid, mode=mode.value, state=obj.state.value,
                 decision=decision.kind.value, backoff=decision.backoff,
             )
+        if self.tracer.wants("sched.decision"):
+            self.tracer.emit(
+                self.env.now, "sched.decision", oid,
+                node=f"n{self.node.node_id}", txid=root_txid,
+                action=decision.kind.value,
+                cause=decision.cause or decision.kind.value,
+                cl=decision.contention, threshold=decision.threshold,
+                bk=queue.bk, elapsed=ctx.ets.elapsed, backoff=decision.backoff,
+            )
         if decision.kind is DecisionKind.ENQUEUE:
+            if self.tracer.wants("obs.queue"):
+                self._trace_queue(oid)
             self.node.reply(
                 msg, MessageType.RETRIEVE_RESPONSE,
                 {
@@ -687,6 +756,7 @@ class TMProxy:
             if queue is not None:
                 queue.reset_backlog()
             return
+        queue_trace = self.tracer.wants("obs.queue")
 
         # Every queued snapshot requester (reads and write-copies) gets the
         # committed value simultaneously — §III-B's read multicast.
@@ -696,6 +766,8 @@ class TMProxy:
         acquirer = queue.pop_next_acquirer()
         if acquirer is None:
             queue.reset_backlog()
+            if queue_trace:
+                self._trace_queue(oid)
             return
         # Ownership migrates to the first queued committer; the remaining
         # queue (and its backlog) travels with the object.
@@ -719,6 +791,9 @@ class TMProxy:
             # expires with no object) is served from the cache.
             self._granted[oid] = (acquirer.node, acquirer.txid, dict(handoff))
         self.node.send(acquirer.node, MessageType.OBJECT_HANDOFF, handoff)
+        if queue_trace:
+            # The queue (and backlog) just migrated away with the object.
+            self._trace_queue(oid)
 
     def _send_handoff(self, requester: Requester, obj: VersionedObject, transferred: bool) -> None:
         self.node.send(
@@ -866,6 +941,13 @@ class TMProxy:
     def queue_length(self, oid: str) -> int:
         queue = self.queues.get(oid)
         return len(queue) if queue is not None else 0
+
+    def _trace_queue(self, oid: str) -> None:
+        """Emit an ``obs.queue`` depth sample (callers guard on wants())."""
+        self.tracer.emit(
+            self.env.now, "obs.queue", oid,
+            node=f"n{self.node.node_id}", len=self.queue_length(oid),
+        )
 
     def __repr__(self) -> str:
         return (

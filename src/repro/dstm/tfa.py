@@ -272,6 +272,11 @@ class TFAEngine:
             raise TransactionError(f"{tx.txid} is a root; use commit_root")
         self._ensure_live(tx)
         if self.nested_commit_validation and tx.rset:
+            tracer = self.proxy.tracer
+            span_on = tracer.wants("span.phase")
+            if span_on:
+                tracer.emit(self.env.now, "span.phase", tx.txid,
+                            phase="validate", edge="B")
             pairs = [(oid, entry.version) for oid, entry in tx.rset.items()]
             results = yield from self._validate_versions(pairs)
             for (oid, _version), valid in zip(pairs, results):
@@ -287,6 +292,9 @@ class TFAEngine:
                         tx, AbortReason.EARLY_VALIDATION, oid=oid,
                         detail="stale read at nested commit",
                     )
+            if span_on:
+                tracer.emit(self.env.now, "span.phase", tx.txid,
+                            phase="validate", edge="E")
         tx.merge_into_parent()
 
     def abort_nested(self, tx: Transaction, reason: AbortReason) -> List[Transaction]:
@@ -317,18 +325,30 @@ class TFAEngine:
                 f"({', '.join(c.txid for c in live_children)})"
             )
 
+        tracer = self.proxy.tracer
+        span_on = tracer.wants("span.phase")
+        txid = root.txid
+        if span_on:
+            tracer.emit(self.env.now, "span.phase", txid, phase="commit", edge="B")
+
         if not root.wset:
             # Read-only: validate and finish — no locks, no registration.
             # The snapshot is provably intact at validation start (every
             # home check happens later and passes), so that instant is the
             # serialisation point.
             validation_started = self.env.now
+            if span_on:
+                tracer.emit(self.env.now, "span.phase", txid, phase="validate", edge="B")
             stale = yield from self._validate_chain(root)
             if stale is not None:
                 self.abort_root(root, AbortReason.COMMIT_VALIDATION, oid=stale[1])
                 raise TransactionAborted(root, AbortReason.COMMIT_VALIDATION, oid=stale[1])
+            if span_on:
+                tracer.emit(self.env.now, "span.phase", txid, phase="validate", edge="E")
             root.serialized_at = validation_started
             self._finalize_commit(root)
+            if span_on:
+                tracer.emit(self.env.now, "span.phase", txid, phase="commit", edge="E")
             return
 
         registered = False
@@ -341,6 +361,8 @@ class TFAEngine:
             #    — this is where the paper's scheduled conflicts happen:
             #    a busy (validating) object routes us through the owner's
             #    scheduler, which enqueues us (RTS) or rejects us.
+            if span_on:
+                tracer.emit(self.env.now, "span.phase", txid, phase="acquire", edge="B")
             for oid in sorted(root.wset):
                 obj = self.proxy.store.get(oid)
                 if obj is not None and (
@@ -351,6 +373,9 @@ class TFAEngine:
                     continue
                 yield from self.proxy.open_object(tx=root, oid=oid, mode=ObjectMode.ACQUIRE)
                 root.acquired.add(oid)
+            if span_on:
+                tracer.emit(self.env.now, "span.phase", txid, phase="acquire", edge="E")
+                tracer.emit(self.env.now, "span.phase", txid, phase="register", edge="B")
 
             # 2. Global registration *before* validation: publish
             #    (owner, new version) at each home directory and wait for
@@ -396,6 +421,9 @@ class TFAEngine:
                     root, AbortReason.OWNER_FAILURE, oid=oid,
                     detail="registration fenced by recovery",
                 )
+            if span_on:
+                tracer.emit(self.env.now, "span.phase", txid, phase="register", edge="E")
+                tracer.emit(self.env.now, "span.phase", txid, phase="validate", edge="B")
 
             # 3. Read-set validation against the homes' registered
             #    versions (covers write-set anchors too: a concurrent
@@ -405,6 +433,8 @@ class TFAEngine:
                 raise TransactionAborted(
                     root, AbortReason.COMMIT_VALIDATION, oid=stale[1]
                 )
+            if span_on:
+                tracer.emit(self.env.now, "span.phase", txid, phase="validate", edge="E")
         except TransactionAborted as abort:
             if registered:
                 # Withdraw the provisional registrations (the values were
@@ -439,6 +469,8 @@ class TFAEngine:
                 self.proxy.publish_commit(oid, version, value), name="publish"
             )
         self._finalize_commit(root)
+        if span_on:
+            tracer.emit(self.env.now, "span.phase", txid, phase="commit", edge="E")
 
     def _register(
         self, home: int, oid: str, version: int, txid: str

@@ -1,0 +1,201 @@
+"""Streaming Chrome ``trace_event`` exporter (Perfetto / chrome://tracing).
+
+Layout: one *process* per simulated node (pid = node id, named via ``M``
+metadata events) and one *thread* per logical task (retry chain), so a
+transaction's attempts — and its nested children, which share the task —
+line up on one track.  Spans and phases are emitted as complete (``X``)
+duration events when they close; scheduler decisions and faults are
+instants (``i``); queue depths are counters (``C``).
+
+Timestamps are microseconds (``t * 1e6``): the standard trace_event unit.
+
+The writer is a streaming sink: events are serialised as they complete,
+and in-memory state is bounded by the number of *live* spans, never by
+run length.  Serialisation is canonical (sorted keys, compact
+separators), so same-seed runs export byte-identical traces.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, List, Optional, Tuple, Union
+
+__all__ = ["ChromeTraceWriter"]
+
+_OTHER_PID = 999  # process for events with no parseable node
+
+
+def _canon(obj: Dict[str, Any]) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+class ChromeTraceWriter:
+    """Incremental trace_event JSON writer."""
+
+    def __init__(self, path_or_file: Union[str, IO[str]]) -> None:
+        if hasattr(path_or_file, "write"):
+            self._file: IO[str] = path_or_file  # type: ignore[assignment]
+            self._owns = False
+            self.path: Optional[str] = getattr(path_or_file, "name", None)
+        else:
+            self._file = open(path_or_file, "w", encoding="utf-8")
+            self._owns = True
+            self.path = str(path_or_file)
+        self._file.write('{"displayTimeUnit":"ms","traceEvents":[')
+        self._first = True
+        self._closed = False
+        #: pids we have announced with a process_name metadata event
+        self._pids: set = set()
+        #: (pid, task) -> tid, allocated in first-seen order (deterministic)
+        self._tids: Dict[Tuple[int, str], int] = {}
+        self._next_tid: Dict[int, int] = {}
+        #: txid -> {begin info} for live spans
+        self._spans: Dict[str, Dict[str, Any]] = {}
+        #: txid -> [(phase, begin time)] for open phases
+        self._phases: Dict[str, List[Tuple[str, float]]] = {}
+        self.count = 0
+
+    # -- low-level emission ----------------------------------------------
+
+    def _write(self, obj: Dict[str, Any]) -> None:
+        if not self._first:
+            self._file.write(",")
+        self._first = False
+        self._file.write(_canon(obj))
+        self.count += 1
+
+    def _pid(self, node: Any) -> int:
+        if isinstance(node, int):
+            pid = node
+        elif isinstance(node, str) and node.startswith("n") and node[1:].isdigit():
+            pid = int(node[1:])
+        else:
+            pid = _OTHER_PID
+        if pid not in self._pids:
+            self._pids.add(pid)
+            name = f"node {pid}" if pid != _OTHER_PID else "other"
+            self._write(
+                {"ph": "M", "pid": pid, "tid": 0, "name": "process_name",
+                 "args": {"name": name}}
+            )
+        return pid
+
+    def _tid(self, pid: int, task: str) -> int:
+        key = (pid, task)
+        tid = self._tids.get(key)
+        if tid is None:
+            tid = self._next_tid.get(pid, 1)
+            self._next_tid[pid] = tid + 1
+            self._tids[key] = tid
+            self._write(
+                {"ph": "M", "pid": pid, "tid": tid, "name": "thread_name",
+                 "args": {"name": task}}
+            )
+        return tid
+
+    # -- event stream ----------------------------------------------------
+
+    def feed(self, event: Dict[str, Any]) -> None:
+        cat = event["cat"]
+        t = event["t"]
+        if cat == "span.begin":
+            pid = self._pid(event["node"])
+            tid = self._tid(pid, event["task"])
+            self._spans[event["sub"]] = {
+                "t": t, "pid": pid, "tid": tid,
+                "task": event["task"], "attempt": event["attempt"],
+                "profile": event["profile"], "depth": event["depth"],
+            }
+            self._phases[event["sub"]] = []
+        elif cat == "span.phase":
+            stack = self._phases.get(event["sub"])
+            if stack is None:
+                return
+            if event["edge"] == "B":
+                stack.append((event["phase"], t))
+            else:
+                for i in range(len(stack) - 1, -1, -1):
+                    if stack[i][0] == event["phase"]:
+                        name, begun = stack.pop(i)
+                        self._emit_phase(event["sub"], name, begun, t)
+                        break
+        elif cat == "span.end":
+            span = self._spans.pop(event["sub"], None)
+            if span is None:
+                return
+            for name, begun in self._phases.pop(event["sub"], []):
+                self._emit_phase_raw(span, name, begun, t)
+            args = {
+                "txid": event["sub"], "attempt": span["attempt"],
+                "outcome": event["outcome"], "depth": span["depth"],
+            }
+            reason = event.get("reason")
+            if reason:
+                args["reason"] = reason
+            self._write(
+                {
+                    "ph": "X", "cat": "span", "name": span["profile"],
+                    "pid": span["pid"], "tid": span["tid"],
+                    "ts": span["t"] * 1e6, "dur": (t - span["t"]) * 1e6,
+                    "args": args,
+                }
+            )
+        elif cat == "sched.decision":
+            pid = self._pid(event["node"])
+            self._write(
+                {
+                    "ph": "i", "cat": "sched", "s": "p",
+                    "name": f"sched:{event['action']}",
+                    "pid": pid, "tid": 0, "ts": t * 1e6,
+                    "args": {
+                        "oid": event["sub"], "cause": event["cause"],
+                        "cl": event.get("cl", 0),
+                        "threshold": event.get("threshold", 0),
+                    },
+                }
+            )
+        elif cat == "obs.queue":
+            pid = self._pid(event["node"])
+            self._write(
+                {
+                    "ph": "C", "name": f"queue:{event['sub']}",
+                    "pid": pid, "tid": 0, "ts": t * 1e6,
+                    "args": {"len": event["len"]},
+                }
+            )
+        elif cat.startswith("fault."):
+            node = event.get("node", event.get("dst", event.get("src", event["sub"])))
+            pid = self._pid(node)
+            self._write(
+                {
+                    "ph": "i", "cat": "fault", "s": "g", "name": cat,
+                    "pid": pid, "tid": 0, "ts": t * 1e6,
+                    "args": {"sub": event["sub"]},
+                }
+            )
+
+    def _emit_phase(self, txid: str, name: str, begun: float, end: float) -> None:
+        span = self._spans.get(txid)
+        if span is not None:
+            self._emit_phase_raw(span, name, begun, end)
+
+    def _emit_phase_raw(
+        self, span: Dict[str, Any], name: str, begun: float, end: float
+    ) -> None:
+        self._write(
+            {
+                "ph": "X", "cat": "phase", "name": name,
+                "pid": span["pid"], "tid": span["tid"],
+                "ts": begun * 1e6, "dur": (end - begun) * 1e6,
+            }
+        )
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._file.write("]}")
+        if self._owns:
+            self._file.close()
+        else:
+            self._file.flush()

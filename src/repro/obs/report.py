@@ -1,0 +1,269 @@
+"""Run-report CLI over an exported observability log.
+
+Usage::
+
+    python -m repro.obs.report run.jsonl
+    python -m repro.obs.report run.jsonl --validate --top 5
+    python -m repro.obs.report run.jsonl --chrome run.trace.json
+    python -m repro.obs.report run.jsonl --json
+
+Reads the JSONL event log one line at a time (O(1) memory for the
+series; span phases are collected as raw samples for *exact*
+percentiles, which is fine offline) and prints:
+
+* a run overview (event count, simulated time range);
+* the per-node table — commits, aborts, abort ratio, throughput, RPC
+  traffic, mean RPC in-flight, and the unreachability EWMA;
+* the top contended objects — conflicts, ownership migrations, mean and
+  max queue depth;
+* span-phase latency percentiles (p50/p95/p99, exact);
+* the scheduler-decision histogram (action x cause);
+* the fault timeline (first events, with a truncation note).
+
+``--chrome OUT`` additionally re-exports the log as a Chrome
+``trace_event`` file (Perfetto-loadable) — the offline twin of the
+cluster's live ``chrome_path`` exporter.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, Iterable, Iterator, List, Optional
+
+from repro.obs.chrome import ChromeTraceWriter
+from repro.obs.events import SchemaError, validate_event
+from repro.obs.series import SeriesTracker
+from repro.obs.spans import SpanBuilder, phase_durations
+from repro.sim.monitor import Tally
+
+__all__ = ["load_events", "main", "render", "summarize"]
+
+
+def load_events(path: str) -> Iterator[Dict[str, Any]]:
+    """Stream events from a JSONL file, skipping blank lines."""
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SchemaError(f"{path}:{lineno}: invalid JSON: {exc}") from exc
+
+
+def summarize(
+    events: Iterable[Dict[str, Any]],
+    window: float = 0.25,
+    top: int = 10,
+    validate: bool = False,
+    chrome: Optional[ChromeTraceWriter] = None,
+) -> Dict[str, Any]:
+    """Reduce an event stream to the report's summary dict."""
+    series = SeriesTracker(window=window)
+    spans = SpanBuilder()
+    outcome_tallies = {
+        "commit": Tally("span.commit", keep_samples=True),
+        "abort": Tally("span.abort", keep_samples=True),
+    }
+    for event in events:
+        if validate:
+            validate_event(event)
+        series.feed(event)
+        spans.feed(event)
+        if chrome is not None:
+            chrome.feed(event)
+
+    completed = spans.finish()
+    for span in completed:
+        if span.duration is not None and span.outcome in outcome_tallies:
+            outcome_tallies[span.outcome].observe(span.duration)
+
+    phases: Dict[str, Dict[str, float]] = {}
+    for name, durations in sorted(phase_durations(completed).items()):
+        tally = Tally(name, keep_samples=True)
+        for d in durations:
+            tally.observe(d)
+        phases[name] = _percentile_row(tally)
+    for outcome, tally in sorted(outcome_tallies.items()):
+        if tally.count:
+            phases[f"span.{outcome}"] = _percentile_row(tally)
+
+    return {
+        "window": window,
+        "events": series.events,
+        "t_min": series.t_min or 0.0,
+        "t_max": series.t_max,
+        "spans": len(completed),
+        "open_spans": len(spans._open),
+        "nodes": series.node_rows(),
+        "objects": series.object_rows(top=top),
+        "decisions": series.decision_rows(),
+        "phases": phases,
+        "faults": list(series.faults),
+        "faults_dropped": series.faults_dropped,
+    }
+
+
+def _percentile_row(tally: Tally) -> Dict[str, float]:
+    return {
+        "count": tally.count,
+        "mean": tally.mean,
+        "p50": tally.percentile(50.0),
+        "p95": tally.percentile(95.0),
+        "p99": tally.percentile(99.0),
+    }
+
+
+# ---------------------------------------------------------------------------
+# rendering
+# ---------------------------------------------------------------------------
+
+
+def _table(headers: List[str], rows: List[List[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        " | ".join(h.rjust(w) for h, w in zip(headers, widths)),
+        "-+-".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _ms(seconds: float) -> str:
+    return f"{seconds * 1e3:.2f}"
+
+
+def render(summary: Dict[str, Any], fault_limit: int = 12) -> str:
+    """Human-readable multi-section report."""
+    out: List[str] = []
+    span = summary["t_max"] - summary["t_min"]
+    out.append(
+        f"run: {summary['events']} events over "
+        f"[{summary['t_min']:.3f}s, {summary['t_max']:.3f}s] "
+        f"({span:.3f}s), {summary['spans']} spans"
+        + (f", {summary['open_spans']} unterminated" if summary["open_spans"] else "")
+    )
+
+    if summary["nodes"]:
+        out.append("\n## per-node")
+        out.append(
+            _table(
+                ["node", "commits", "aborts", "abort%", "tx/s", "peak tx/s",
+                 "rpcs", "rpc fail", "inflight", "unreach"],
+                [
+                    [
+                        r["node"], str(r["commits"]), str(r["aborts"]),
+                        f"{r['abort_ratio'] * 100:.1f}",
+                        f"{r['throughput']:.1f}", f"{r['peak_window_tps']:.1f}",
+                        str(r["rpc_issued"]), str(r["rpc_failed"]),
+                        f"{r['mean_inflight']:.2f}", f"{r['unreach']:.3f}",
+                    ]
+                    for r in summary["nodes"]
+                ],
+            )
+        )
+
+    if summary["objects"]:
+        out.append("\n## top contended objects")
+        out.append(
+            _table(
+                ["oid", "conflicts", "migrations", "mean queue", "max queue"],
+                [
+                    [
+                        r["oid"], str(r["conflicts"]), str(r["migrations"]),
+                        f"{r['mean_queue']:.3f}", str(r["max_queue"]),
+                    ]
+                    for r in summary["objects"]
+                ],
+            )
+        )
+
+    if summary["phases"]:
+        out.append("\n## span phases (ms)")
+        out.append(
+            _table(
+                ["phase", "count", "mean", "p50", "p95", "p99"],
+                [
+                    [
+                        name, str(row["count"]), _ms(row["mean"]),
+                        _ms(row["p50"]), _ms(row["p95"]), _ms(row["p99"]),
+                    ]
+                    for name, row in summary["phases"].items()
+                ],
+            )
+        )
+
+    if summary["decisions"]:
+        out.append("\n## scheduler decisions")
+        out.append(
+            _table(
+                ["action", "cause", "count"],
+                [
+                    [r["action"], r["cause"], str(r["count"])]
+                    for r in summary["decisions"]
+                ],
+            )
+        )
+
+    faults = summary["faults"]
+    if faults:
+        out.append(f"\n## fault timeline ({len(faults)} events)")
+        for t, cat, sub in faults[:fault_limit]:
+            out.append(f"  {t:10.4f}s  {cat:<22} {sub}")
+        hidden = len(faults) - fault_limit + summary.get("faults_dropped", 0)
+        if hidden > 0:
+            out.append(f"  ... {hidden} more")
+
+    return "\n".join(out)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("jsonl", help="exported JSONL event log")
+    parser.add_argument("--window", type=float, default=0.25,
+                        help="time-series window (simulated seconds)")
+    parser.add_argument("--top", type=int, default=10,
+                        help="how many contended objects to list")
+    parser.add_argument("--validate", action="store_true",
+                        help="check every event against the schema")
+    parser.add_argument("--chrome", metavar="OUT",
+                        help="also export a Chrome trace_event JSON file")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="print the summary as JSON instead of tables")
+    args = parser.parse_args(argv)
+
+    chrome = ChromeTraceWriter(args.chrome) if args.chrome else None
+    try:
+        summary = summarize(
+            load_events(args.jsonl),
+            window=args.window, top=args.top,
+            validate=args.validate, chrome=chrome,
+        )
+    except SchemaError as exc:
+        print(f"schema error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        if chrome is not None:
+            chrome.close()
+
+    if args.as_json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(render(summary))
+        if chrome is not None:
+            print(f"\nchrome trace written to {chrome.path} ({chrome.count} events)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,241 @@
+"""Per-node and per-object time-series derived from the event stream.
+
+The tracker consumes schema events (see :mod:`repro.obs.events`) in time
+order and maintains:
+
+* **per node** — windowed commit/abort counts (throughput and abort-rate
+  series), RPC issue/failure totals, an RPC in-flight gauge
+  (:class:`~repro.sim.monitor.TimeWeighted`) and an *unreachability EWMA*
+  fed from RPC outcomes and crash/restart fault events.  The EWMA is the
+  signal the ROADMAP's partition-aware scheduling item needs: a node
+  whose value is high has recently timed out or crashed.
+* **per object** — a queue-depth gauge (``obs.queue`` events), conflict
+  counts (``dstm.conflict``) and ownership-migration counts
+  (``dir.owner``): the top-contended-objects view.
+* **global** — the scheduler-decision histogram keyed ``(action, cause)``
+  and a bounded fault timeline.
+
+State is O(nodes + objects + windows), never O(events), so the tracker
+can sit inline on the tracer's sink path for arbitrarily long runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.sim.monitor import TimeWeighted
+from repro.util.stats import Ewma
+
+__all__ = ["NodeSeries", "ObjectSeries", "SeriesTracker"]
+
+#: cap on the retained fault timeline (drops are counted, not silent)
+FAULT_TIMELINE_CAP = 4096
+
+
+class NodeSeries:
+    """Aggregates for one node (keyed by tag ``n<id>``)."""
+
+    __slots__ = (
+        "tag", "commits", "aborts", "rpc_issued", "rpc_failed",
+        "inflight", "unreach", "windows",
+    )
+
+    def __init__(self, tag: str, start_time: float) -> None:
+        self.tag = tag
+        self.commits = 0
+        self.aborts = 0
+        self.rpc_issued = 0
+        self.rpc_failed = 0
+        self.inflight = TimeWeighted(f"{tag}.rpc_inflight", start_time=start_time)
+        #: 0 = every probe answered, 1 = every probe timed out/crashed
+        self.unreach = Ewma(alpha=0.2, initial=0.0)
+        #: window index -> [commits, aborts]
+        self.windows: Dict[int, List[int]] = {}
+
+    def bucket(self, idx: int) -> List[int]:
+        b = self.windows.get(idx)
+        if b is None:
+            b = [0, 0]
+            self.windows[idx] = b
+        return b
+
+
+class ObjectSeries:
+    """Aggregates for one shared object."""
+
+    __slots__ = ("oid", "conflicts", "migrations", "queue", "queue_max")
+
+    def __init__(self, oid: str, start_time: float) -> None:
+        self.oid = oid
+        self.conflicts = 0
+        self.migrations = 0
+        self.queue = TimeWeighted(f"{oid}.queue", start_time=start_time)
+        self.queue_max = 0
+
+
+class SeriesTracker:
+    """Streaming reducer over the observability event stream."""
+
+    def __init__(self, window: float = 0.25) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be > 0, got {window}")
+        self.window = float(window)
+        self.nodes: Dict[str, NodeSeries] = {}
+        self.objects: Dict[str, ObjectSeries] = {}
+        #: (action, cause) -> count
+        self.decisions: Dict[Tuple[str, str], int] = {}
+        self.faults: List[Tuple[float, str, str]] = []
+        self.faults_dropped = 0
+        self.events = 0
+        self.t_min: Optional[float] = None
+        self.t_max: float = 0.0
+
+    # -- feeding ---------------------------------------------------------
+
+    def _node(self, key: Any, t: float) -> NodeSeries:
+        tag = key if isinstance(key, str) else f"n{key}"
+        series = self.nodes.get(tag)
+        if series is None:
+            series = NodeSeries(tag, start_time=t)
+            self.nodes[tag] = series
+        return series
+
+    def _object(self, oid: str, t: float) -> ObjectSeries:
+        series = self.objects.get(oid)
+        if series is None:
+            series = ObjectSeries(oid, start_time=t)
+            self.objects[oid] = series
+        return series
+
+    def feed(self, event: Dict[str, Any]) -> None:
+        t = event["t"]
+        cat = event["cat"]
+        self.events += 1
+        if self.t_min is None:
+            self.t_min = t
+        if t > self.t_max:
+            self.t_max = t
+
+        if cat == "span.end":
+            if event.get("depth", 0) == 0:
+                node = self._node(event["node"], t)
+                bucket = node.bucket(int(t / self.window))
+                if event["outcome"] == "commit":
+                    node.commits += 1
+                    bucket[0] += 1
+                else:
+                    node.aborts += 1
+                    bucket[1] += 1
+        elif cat == "rpc.issue":
+            node = self._node(event["node"], t)
+            node.rpc_issued += 1
+            node.inflight.add(t, 1.0)
+        elif cat == "rpc.done":
+            node = self._node(event["node"], t)
+            node.inflight.add(t, -1.0)
+            dst = self._node(event["dst"], t)
+            if event["ok"]:
+                dst.unreach.observe(0.0)
+            else:
+                node.rpc_failed += 1
+                dst.unreach.observe(1.0)
+        elif cat == "obs.queue":
+            obj = self._object(event["sub"], t)
+            depth = int(event["len"])
+            obj.queue.update(t, depth)
+            if depth > obj.queue_max:
+                obj.queue_max = depth
+        elif cat == "dstm.conflict":
+            self._object(event["sub"], t).conflicts += 1
+        elif cat == "dir.owner":
+            self._object(event["sub"], t).migrations += 1
+        elif cat == "sched.decision":
+            key = (event["action"], event.get("cause", ""))
+            self.decisions[key] = self.decisions.get(key, 0) + 1
+        elif cat.startswith("fault."):
+            if cat == "fault.rpc_retry":
+                # A timed-out attempt is one failed reachability probe.
+                self._node(event["dst"], t).unreach.observe(1.0)
+            elif cat == "fault.crash":
+                self._node(event["sub"], t).unreach.observe(1.0)
+            elif cat == "fault.restart":
+                self._node(event["sub"], t).unreach.observe(0.0)
+            if len(self.faults) < FAULT_TIMELINE_CAP:
+                self.faults.append((t, cat, event["sub"]))
+            else:
+                self.faults_dropped += 1
+
+    # -- snapshots -------------------------------------------------------
+
+    @property
+    def duration(self) -> float:
+        if self.t_min is None:
+            return 0.0
+        return self.t_max - self.t_min
+
+    def node_rows(self) -> List[Dict[str, Any]]:
+        """Per-node summary rows (sorted by node tag)."""
+        span = self.duration
+        now = self.t_max
+        rows = []
+        for tag in sorted(self.nodes, key=_node_sort_key):
+            n = self.nodes[tag]
+            attempts = n.commits + n.aborts
+            peak = max((b[0] for b in n.windows.values()), default=0)
+            rows.append(
+                {
+                    "node": tag,
+                    "commits": n.commits,
+                    "aborts": n.aborts,
+                    "abort_ratio": n.aborts / attempts if attempts else 0.0,
+                    "throughput": n.commits / span if span > 0 else 0.0,
+                    "peak_window_tps": peak / self.window,
+                    "rpc_issued": n.rpc_issued,
+                    "rpc_failed": n.rpc_failed,
+                    "mean_inflight": n.inflight.average(now),
+                    "unreach": n.unreach.value,
+                }
+            )
+        return rows
+
+    def object_rows(self, top: int = 10) -> List[Dict[str, Any]]:
+        """Most-contended objects, by conflict count."""
+        now = self.t_max
+        ranked = sorted(
+            self.objects.values(), key=lambda o: (-o.conflicts, o.oid)
+        )
+        return [
+            {
+                "oid": o.oid,
+                "conflicts": o.conflicts,
+                "migrations": o.migrations,
+                "mean_queue": o.queue.average(now),
+                "max_queue": o.queue_max,
+            }
+            for o in ranked[:top]
+        ]
+
+    def decision_rows(self) -> List[Dict[str, Any]]:
+        return [
+            {"action": action, "cause": cause, "count": count}
+            for (action, cause), count in sorted(self.decisions.items())
+        ]
+
+    def snapshot(self, now: Optional[float] = None) -> Dict[str, Any]:
+        """One JSON-able summary of everything tracked."""
+        return {
+            "window": self.window,
+            "events": self.events,
+            "t_min": self.t_min or 0.0,
+            "t_max": self.t_max,
+            "nodes": self.node_rows(),
+            "objects": self.object_rows(),
+            "decisions": self.decision_rows(),
+            "faults": len(self.faults) + self.faults_dropped,
+        }
+
+
+def _node_sort_key(tag: str) -> Tuple[int, str]:
+    if tag.startswith("n") and tag[1:].isdigit():
+        return (int(tag[1:]), "")
+    return (1 << 30, tag)

@@ -1,0 +1,69 @@
+"""Streaming export sinks for observability events.
+
+:class:`JsonlSink` writes one canonical JSON object per line as records
+arrive — nothing is buffered beyond the OS file buffer, so arbitrarily
+long runs export in O(1) memory.  Canonical serialisation
+(``sort_keys=True``, compact separators) makes same-seed exports
+byte-identical, which the determinism tests rely on.
+
+:class:`MemorySink` collects event dicts in a list — for tests and for
+the in-process report path (``report.summarize`` over a live run).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, List, Optional, Union
+
+from repro.obs.events import record_to_event
+from repro.sim.trace import TraceRecord, TraceSink
+
+__all__ = ["JsonlSink", "MemorySink", "dumps_event"]
+
+
+def dumps_event(event: Dict[str, Any]) -> str:
+    """Canonical single-line JSON for an event dict."""
+    return json.dumps(event, sort_keys=True, separators=(",", ":"))
+
+
+class JsonlSink(TraceSink):
+    """Stream accepted records to a JSONL file (or file-like object)."""
+
+    def __init__(self, path_or_file: Union[str, IO[str]]) -> None:
+        if hasattr(path_or_file, "write"):
+            self._file: IO[str] = path_or_file  # type: ignore[assignment]
+            self._owns = False
+            self.path: Optional[str] = getattr(path_or_file, "name", None)
+        else:
+            self._file = open(path_or_file, "w", encoding="utf-8")
+            self._owns = True
+            self.path = str(path_or_file)
+        self.count = 0
+
+    def accept(self, record: TraceRecord) -> None:
+        self.accept_event(record_to_event(record))
+
+    def accept_event(self, event: Dict[str, Any]) -> None:
+        """Write an already-converted event (recorder fast path)."""
+        self._file.write(dumps_event(event))
+        self._file.write("\n")
+        self.count += 1
+
+    def close(self) -> None:
+        if self._owns and not self._file.closed:
+            self._file.close()
+        elif not self._file.closed:
+            self._file.flush()
+
+
+class MemorySink(TraceSink):
+    """Collect event dicts in memory (tests, in-process reports)."""
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, Any]] = []
+
+    def accept(self, record: TraceRecord) -> None:
+        self.events.append(record_to_event(record))
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,131 @@
+"""Reconstruct transaction lifecycle spans from an event stream.
+
+The emitters (``core.api``, ``dstm.tfa``, ``dstm.proxy``) publish flat
+``span.begin`` / ``span.phase`` / ``span.end`` events keyed by txid; this
+module folds them back into :class:`Span` objects with per-phase
+intervals, parent links (nested children) and retry chains (attempts
+sharing a ``task`` id).  It is the offline half of the span model — the
+report CLI and the tests use it; nothing in the hot path does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["Phase", "Span", "SpanBuilder", "build_spans", "phase_durations"]
+
+
+@dataclass
+class Phase:
+    """One closed phase interval inside a span."""
+
+    name: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Span:
+    """One transaction attempt, root or nested."""
+
+    txid: str
+    task: str
+    node: str
+    attempt: int
+    profile: str
+    depth: int
+    start: float
+    parent: Optional[str] = None
+    end: Optional[float] = None
+    outcome: Optional[str] = None
+    reason: Optional[str] = None
+    phases: List[Phase] = field(default_factory=list)
+
+    @property
+    def duration(self) -> Optional[float]:
+        return None if self.end is None else self.end - self.start
+
+    @property
+    def is_root(self) -> bool:
+        return self.depth == 0
+
+    def phase_time(self, name: str) -> float:
+        return sum(p.duration for p in self.phases if p.name == name)
+
+
+class SpanBuilder:
+    """Incremental span reconstruction; feed events in time order."""
+
+    def __init__(self) -> None:
+        self._open: Dict[str, Span] = {}
+        # per-txid stack of (phase-name, begin-time); aborts can leave
+        # phases open, so span.end force-closes whatever remains.
+        self._stacks: Dict[str, List[Tuple[str, float]]] = {}
+        self.spans: List[Span] = []
+
+    def feed(self, event: Dict[str, Any]) -> None:
+        cat = event.get("cat")
+        if cat == "span.begin":
+            txid = event["sub"]
+            self._open[txid] = Span(
+                txid=txid,
+                task=event["task"],
+                node=event["node"],
+                attempt=event["attempt"],
+                profile=event["profile"],
+                depth=event["depth"],
+                start=event["t"],
+                parent=event.get("parent"),
+            )
+            self._stacks[txid] = []
+        elif cat == "span.phase":
+            stack = self._stacks.get(event["sub"])
+            span = self._open.get(event["sub"])
+            if stack is None or span is None:
+                return  # phase for a span whose begin predates the log
+            if event["edge"] == "B":
+                stack.append((event["phase"], event["t"]))
+            else:
+                # close the innermost matching phase (phases nest)
+                for i in range(len(stack) - 1, -1, -1):
+                    if stack[i][0] == event["phase"]:
+                        name, begun = stack.pop(i)
+                        span.phases.append(Phase(name, begun, event["t"]))
+                        break
+        elif cat == "span.end":
+            txid = event["sub"]
+            span = self._open.pop(txid, None)
+            if span is None:
+                return
+            span.end = event["t"]
+            span.outcome = event["outcome"]
+            span.reason = event.get("reason")
+            for name, begun in self._stacks.pop(txid, []):
+                span.phases.append(Phase(name, begun, span.end))
+            span.phases.sort(key=lambda p: (p.start, p.name))
+            self.spans.append(span)
+
+    def finish(self) -> List[Span]:
+        """Return all completed spans; still-open ones stay pending."""
+        return self.spans
+
+
+def build_spans(events: Iterable[Dict[str, Any]]) -> List[Span]:
+    builder = SpanBuilder()
+    for event in events:
+        builder.feed(event)
+    return builder.finish()
+
+
+def phase_durations(spans: Iterable[Span]) -> Dict[str, List[float]]:
+    """All per-phase durations, grouped by phase name."""
+    out: Dict[str, List[float]] = {}
+    for span in spans:
+        for phase in span.phases:
+            out.setdefault(phase.name, []).append(phase.duration)
+    return out

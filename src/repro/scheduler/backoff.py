@@ -41,7 +41,7 @@ class BackoffScheduler(SchedulerPolicy):
         self._rng = rng if rng is not None else np.random.default_rng(0)
 
     def on_conflict(self, ctx: ConflictContext) -> ConflictDecision:
-        return ConflictDecision.abort()
+        return ConflictDecision.abort(cause="baseline")
 
     def retry_backoff(self, root: Transaction, reason: AbortReason, attempt: int) -> float:
         # Conflict-driven aborts back off, and so do owner failures (the

@@ -45,14 +45,32 @@ class ConflictDecision:
     #: backoff budget granted to an enqueued requester (RTS), or a hint
     #: for an aborted one (unused by the baselines' owner side).
     backoff: float = 0.0
+    #: which rule produced this outcome ("short_exec", "high_cl",
+    #: "enqueue", "baseline", ...) — the scheduler-decision audit trail.
+    cause: str = ""
+    #: total contention level the decision saw (0 for policies that do
+    #: not compute one).
+    contention: int = 0
+    #: the CL threshold in force at decision time (0 when not applicable).
+    threshold: int = 0
 
     @classmethod
-    def abort(cls) -> "ConflictDecision":
-        return cls(DecisionKind.ABORT)
+    def abort(
+        cls, cause: str = "abort", contention: int = 0, threshold: int = 0
+    ) -> "ConflictDecision":
+        return cls(DecisionKind.ABORT, cause=cause, contention=contention,
+                   threshold=threshold)
 
     @classmethod
-    def enqueue(cls, backoff: float) -> "ConflictDecision":
-        return cls(DecisionKind.ENQUEUE, backoff)
+    def enqueue(
+        cls,
+        backoff: float,
+        cause: str = "enqueue",
+        contention: int = 0,
+        threshold: int = 0,
+    ) -> "ConflictDecision":
+        return cls(DecisionKind.ENQUEUE, backoff, cause=cause,
+                   contention=contention, threshold=threshold)
 
 
 @dataclass

@@ -114,18 +114,23 @@ class RtsScheduler(SchedulerPolicy):
         #  * "economic" — also charges the current validator's remaining
         #    time, so early-stage transactions fail fast like plain TFA.
         #    Maximises worst-case throughput at the cost of more aborts.
+        threshold = self.cl_threshold
+        contention = queue.get_contention() + 1 + max(0, ctx.requester_cl)
         expected_wait = queue.bk
         if self.admission == "economic":
             expected_wait += ctx.holder_remaining
         if expected_wait >= ctx.ets.elapsed:
             self.rejected_short_exec += 1
-            return ConflictDecision.abort()
+            return ConflictDecision.abort(
+                cause="short_exec", contention=contention, threshold=threshold
+            )
 
         # Contention test: queued transactions + this requester + its myCL.
-        contention = queue.get_contention() + 1 + max(0, ctx.requester_cl)
-        if contention >= self.cl_threshold:
+        if contention >= threshold:
             self.rejected_high_cl += 1
-            return ConflictDecision.abort()
+            return ConflictDecision.abort(
+                cause="high_cl", contention=contention, threshold=threshold
+            )
 
         # §III-B: the head of the queue waits out the validator
         # (|t7 − t4|); later writers additionally wait out the expected
@@ -150,7 +155,9 @@ class RtsScheduler(SchedulerPolicy):
             ),
         )
         self.enqueued += 1
-        return ConflictDecision.enqueue(backoff)
+        return ConflictDecision.enqueue(
+            backoff, contention=contention, threshold=threshold
+        )
 
     # -- requester side ------------------------------------------------------------
 

@@ -21,7 +21,7 @@ class TfaScheduler(SchedulerPolicy):
     name = "tfa"
 
     def on_conflict(self, ctx: ConflictContext) -> ConflictDecision:
-        return ConflictDecision.abort()
+        return ConflictDecision.abort(cause="baseline")
 
     def retry_backoff(self, root: Transaction, reason: AbortReason, attempt: int) -> float:
         if reason is AbortReason.OWNER_FAILURE:

@@ -69,6 +69,10 @@ class Tally:
             self._samples.append(value)
 
     @property
+    def keep_samples(self) -> bool:
+        return self._samples is not None
+
+    @property
     def mean(self) -> float:
         return self._mean if self.count else 0.0
 

@@ -1,21 +1,38 @@
 """Structured simulation tracing.
 
 The tracer records ``(time, category, subject, details)`` tuples.  It exists
-for three consumers: debugging (human-readable dumps), tests (asserting on
+for four consumers: debugging (human-readable dumps), tests (asserting on
 protocol event orderings, e.g. "the object was handed to the queued requester
-before any fresh request was served"), and the determinism property test
-(identical seeds must produce identical traces).
+before any fresh request was served"), the determinism property test
+(identical seeds must produce identical traces), and the observability layer
+(:mod:`repro.obs`), which attaches *sinks* that stream every accepted record
+out of the process so long runs never accumulate unbounded in-memory state.
 
 Tracing is off by default and filtered by category, so the hot path pays a
 single dict lookup when disabled.
+
+In-memory retention modes (``max_records``):
+
+* unbounded (default) — every accepted record is kept;
+* **bounded** (``ring=False``) — the first ``max_records`` are kept and the
+  tail is dropped (``dropped`` counts the loss);
+* **ring** (``ring=True``) — the *most recent* ``max_records`` are kept and
+  the head is evicted (``dropped`` counts evictions) — what a debugging
+  session wants, since the interesting part of a run is almost always its
+  end.
+
+Sinks are independent of retention: an attached sink sees every accepted
+record even when the in-memory store is bounded or disabled entirely
+(``keep_records=False``), which is the streaming-export path.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
-__all__ = ["TraceRecord", "Tracer"]
+__all__ = ["TraceRecord", "TraceSink", "Tracer"]
 
 
 @dataclass(frozen=True)
@@ -38,6 +55,20 @@ class TraceRecord:
         return f"[{self.time:12.6f}] {self.category:<12} {self.subject} {kv}".rstrip()
 
 
+class TraceSink:
+    """Interface for streaming consumers of accepted trace records.
+
+    Anything with an ``accept(record)`` method works (duck-typed); this
+    base class exists for documentation and ``close()`` default.
+    """
+
+    def accept(self, record: TraceRecord) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush/close any underlying resource (files, builders)."""
+
+
 class Tracer:
     """Category-filtered, optionally bounded trace collector."""
 
@@ -46,11 +77,16 @@ class Tracer:
         enabled: bool = False,
         categories: Optional[Iterable[str]] = None,
         max_records: Optional[int] = None,
+        ring: bool = False,
+        keep_records: bool = True,
     ) -> None:
         self.enabled = enabled
         self._categories = set(categories) if categories is not None else None
         self._max = max_records
-        self._records: List[TraceRecord] = []
+        self._ring = bool(ring)
+        self._keep = bool(keep_records)
+        self._records: deque = deque()
+        self._sinks: List[Any] = []
         self.dropped = 0
 
     def wants(self, category: str) -> bool:
@@ -59,15 +95,32 @@ class Tracer:
             return False
         return self._categories is None or category in self._categories
 
+    def attach_sink(self, sink: Any) -> Any:
+        """Attach a streaming consumer; returns it (for chaining).
+
+        Sinks receive every record that passes the category filter,
+        regardless of the in-memory retention mode.
+        """
+        self._sinks.append(sink)
+        return sink
+
+    def detach_sink(self, sink: Any) -> None:
+        self._sinks.remove(sink)
+
     def emit(self, time: float, category: str, subject: str, **details: Any) -> None:
         if not self.wants(category):
             return
+        record = TraceRecord(time, category, subject, tuple(sorted(details.items())))
+        for sink in self._sinks:
+            sink.accept(record)
+        if not self._keep:
+            return
         if self._max is not None and len(self._records) >= self._max:
             self.dropped += 1
-            return
-        self._records.append(
-            TraceRecord(time, category, subject, tuple(sorted(details.items())))
-        )
+            if not self._ring:
+                return  # bounded mode: keep the head, drop the tail
+            self._records.popleft()  # ring mode: evict the oldest
+        self._records.append(record)
 
     def records(self, category: Optional[str] = None) -> List[TraceRecord]:
         if category is None:
@@ -85,6 +138,13 @@ class Tracer:
         self._records.clear()
         self.dropped = 0
 
+    def close_sinks(self) -> None:
+        """Close every attached sink that supports it."""
+        for sink in self._sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()
+
     def __len__(self) -> int:
         return len(self._records)
 
@@ -97,7 +157,23 @@ class Tracer:
     def __iter__(self) -> Iterator[TraceRecord]:
         return iter(self._records)
 
-    def dump(self, limit: Optional[int] = None) -> str:
-        """Human-readable multi-line rendering (for debugging sessions)."""
-        rows = self._records if limit is None else self._records[:limit]
+    def dump(self, limit: Optional[int] = None, tail: Optional[int] = None) -> str:
+        """Human-readable multi-line rendering (for debugging sessions).
+
+        ``limit`` takes the first N records; ``tail`` (or a negative
+        ``limit``) takes the last N — the end of the run, which is where
+        debugging sessions almost always want to look.
+        """
+        if limit is not None and limit < 0:
+            if tail is not None:
+                raise ValueError("pass either a negative limit or tail, not both")
+            tail = -limit
+        rows: Iterable[TraceRecord]
+        if tail is not None:
+            n = len(self._records)
+            rows = list(self._records)[max(0, n - tail):]
+        elif limit is not None:
+            rows = list(self._records)[:limit]
+        else:
+            rows = self._records
         return "\n".join(str(r) for r in rows)

@@ -103,3 +103,32 @@ class TestDerivedQuantities:
         summary = MetricsCollector().summary()
         for key in ("commits", "abort_ratio", "nested_abort_rate"):
             assert key in summary
+
+    def test_summary_omits_optional_keys_by_default(self):
+        summary = MetricsCollector().summary()
+        assert "throughput" not in summary
+        assert "commit_latency_p50" not in summary
+
+    def test_summary_throughput_with_window(self):
+        m = MetricsCollector()
+        m.window_start, m.window_end = 0.0, 4.0
+        root, _ = tree()
+        m.on_commit(root, 0.1)
+        assert m.summary()["throughput"] == pytest.approx(0.25)
+
+    def test_summary_percentiles_with_samples(self):
+        m = MetricsCollector(keep_latency_samples=True)
+        for d in (0.1, 0.2, 0.3, 0.4, 1.0):
+            root, _ = tree()
+            m.on_commit(root, d)
+        s = m.summary()
+        assert s["commit_latency_p50"] == pytest.approx(0.3)
+        assert s["commit_latency_p95"] <= 1.0
+        assert s["commit_latency_p99"] <= 1.0
+        assert s["commit_latency_p50"] <= s["commit_latency_p95"] <= s["commit_latency_p99"]
+
+    def test_summary_percentiles_absent_without_samples(self):
+        m = MetricsCollector()  # keep_latency_samples=False
+        root, _ = tree()
+        m.on_commit(root, 0.5)
+        assert "commit_latency_p50" not in m.summary()

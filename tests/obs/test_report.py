@@ -1,0 +1,86 @@
+"""Tests for the run-report CLI (python -m repro.obs.report)."""
+
+import json
+
+import pytest
+
+from repro.core.config import ClusterConfig, ObsConfig
+from repro.core.experiment import run_experiment
+from repro.obs.report import load_events, main, render, summarize
+from repro.obs.events import SchemaError
+
+
+@pytest.fixture(scope="module")
+def run_log(tmp_path_factory):
+    """One faulted traced run shared by every report test."""
+    path = tmp_path_factory.mktemp("obs") / "run.jsonl"
+    cfg = ClusterConfig(
+        num_nodes=4, seed=11,
+        obs=ObsConfig(enabled=True, jsonl_path=str(path)),
+        faults=dict(enabled=True, drop_rate=0.02, crash_rate=0.05),
+    )
+    result = run_experiment("bank", cfg, horizon=3.0)
+    assert result.commits > 0
+    return path
+
+
+class TestSummarize:
+    def test_summary_shape(self, run_log):
+        summary = summarize(load_events(str(run_log)), validate=True)
+        assert summary["events"] > 0 and summary["spans"] > 0
+        assert summary["nodes"] and summary["phases"]
+        commits = sum(r["commits"] for r in summary["nodes"])
+        assert commits > 0
+        assert "span.commit" in summary["phases"]
+        row = summary["phases"]["span.commit"]
+        assert row["p50"] <= row["p95"] <= row["p99"]
+        assert summary["faults"], "fault regime must leave a timeline"
+
+    def test_render_sections(self, run_log):
+        summary = summarize(load_events(str(run_log)))
+        text = render(summary)
+        for section in ("## per-node", "## top contended objects",
+                        "## span phases (ms)", "## scheduler decisions",
+                        "## fault timeline"):
+            assert section in text, f"missing {section}"
+
+    def test_bad_json_line_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"t": 1.0, "cat": "x", "sub": "y"}\nnot json\n')
+        with pytest.raises(SchemaError):
+            list(load_events(str(path)))
+
+
+class TestCli:
+    def test_main_renders_tables(self, run_log, capsys):
+        assert main([str(run_log), "--validate"]) == 0
+        out = capsys.readouterr().out
+        assert "## per-node" in out and "## scheduler decisions" in out
+
+    def test_main_json_mode(self, run_log, capsys):
+        assert main([str(run_log), "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["events"] > 0
+
+    def test_main_chrome_reexport(self, run_log, tmp_path, capsys):
+        out_path = tmp_path / "re.trace.json"
+        assert main([str(run_log), "--chrome", str(out_path)]) == 0
+        doc = json.loads(out_path.read_text())
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
+    def test_main_schema_error_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"cat": "x", "sub": "y"}\n')  # missing t
+        assert main([str(path), "--validate"]) == 1
+        assert "schema error" in capsys.readouterr().err
+
+    def test_module_entrypoint(self, run_log):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.obs.report", str(run_log), "--top", "3"],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "## per-node" in proc.stdout

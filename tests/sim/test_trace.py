@@ -59,3 +59,63 @@ class TestTracer:
     def test_record_is_hashable_and_ordered_details(self):
         r = TraceRecord(1.0, "c", "s", (("a", 1), ("b", 2)))
         assert hash(r) == hash(TraceRecord(1.0, "c", "s", (("a", 1), ("b", 2))))
+
+    def test_ring_mode_keeps_most_recent(self):
+        tr = Tracer(enabled=True, max_records=2, ring=True)
+        for i in range(5):
+            tr.emit(float(i), "c", f"s{i}")
+        assert [r.subject for r in tr] == ["s3", "s4"]
+        assert tr.dropped == 3
+
+    def test_dump_tail(self):
+        tr = Tracer(enabled=True)
+        for i in range(5):
+            tr.emit(float(i), "c", f"s{i}")
+        tail = tr.dump(tail=2)
+        assert "s3" in tail and "s4" in tail and "s0" not in tail
+        # negative limit aliases tail
+        assert tr.dump(limit=-2) == tail
+        assert "s0" in tr.dump(limit=2) and "s4" not in tr.dump(limit=2)
+
+    def test_dump_tail_conflict_raises(self):
+        tr = Tracer(enabled=True)
+        try:
+            tr.dump(limit=-1, tail=1)
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("expected ValueError")
+
+    def test_sink_sees_all_despite_bounds(self):
+        seen = []
+
+        class Sink:
+            def accept(self, record):
+                seen.append(record.subject)
+
+        tr = Tracer(enabled=True, max_records=1, keep_records=False)
+        tr.attach_sink(Sink())
+        for i in range(4):
+            tr.emit(float(i), "c", f"s{i}")
+        assert seen == ["s0", "s1", "s2", "s3"]
+        assert len(tr) == 0  # keep_records=False: nothing retained
+
+    def test_detach_sink_and_close(self):
+        closed = []
+
+        class Sink:
+            def accept(self, record):
+                pass
+
+            def close(self):
+                closed.append(True)
+
+        tr = Tracer(enabled=True)
+        sink = tr.attach_sink(Sink())
+        tr.close_sinks()
+        tr.detach_sink(sink)
+        tr.emit(0.0, "c", "s")  # no sink errors after detach
+        assert closed == [True]
+
+    def test_tracer_always_truthy(self):
+        assert bool(Tracer()) is True
