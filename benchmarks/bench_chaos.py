@@ -8,8 +8,9 @@ seed-deterministic.
 
 Usage::
 
-    pytest benchmarks/bench_chaos.py            # shape assertions
-    python benchmarks/bench_chaos.py --smoke    # throughput-vs-drop table
+    pytest benchmarks/bench_chaos.py                       # shape assertions
+    python benchmarks/bench_chaos.py --smoke               # throughput-vs-drop table
+    python benchmarks/bench_chaos.py --smoke --nodes 40    # at scale
 """
 
 import argparse
@@ -49,10 +50,10 @@ def chaos_faults(drop_rate: float, **overrides) -> FaultConfig:
 
 
 def run_chaos_cell(scheduler, drop_rate, seed=1, read_fraction=0.5,
-                   obs=None, **fault_overrides):
+                   obs=None, nodes=CHAOS_NODES, **fault_overrides):
     return run_cell(
         "bank", scheduler, read_fraction,
-        nodes=CHAOS_NODES, horizon=CHAOS_HORIZON, seed=seed,
+        nodes=nodes, horizon=CHAOS_HORIZON, seed=seed,
         faults=chaos_faults(drop_rate, **fault_overrides),
         **({"obs": obs} if obs is not None else {}),
     )
@@ -113,6 +114,8 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
                         help="print a throughput-vs-drop-rate table")
+    parser.add_argument("--nodes", type=int, default=CHAOS_NODES,
+                        help="cluster size for every cell (scale axis)")
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--trace-out", metavar="RUN.JSONL", default=None,
                         help="export an obs event log (repro.obs) for the "
@@ -128,6 +131,7 @@ def main(argv=None) -> int:
 
     traced_cell = (DROP_AXIS[-1], "rts")
     header = f"{'drop':>6} | {'sched':>5} | {'commits':>7} | {'tx/s':>8} | {'drops':>6} | {'retries':>7} | {'reclaims':>8}"
+    print(f"chaos @ {args.nodes} nodes")
     print(header)
     print("-" * len(header))
     for drop in DROP_AXIS:
@@ -136,7 +140,8 @@ def main(argv=None) -> int:
             if (drop, sched) == traced_cell and (args.trace_out or args.chrome_out):
                 obs = dict(enabled=True, jsonl_path=args.trace_out,
                            chrome_path=args.chrome_out)
-            r = run_chaos_cell(sched, drop, seed=args.seed, obs=obs)
+            r = run_chaos_cell(sched, drop, seed=args.seed, obs=obs,
+                               nodes=args.nodes)
             x = r.extra
             print(
                 f"{drop:>6.2f} | {sched:>5} | {r.commits:>7} | "

@@ -8,6 +8,8 @@ Usage::
 
     pytest benchmarks/bench_fig4.py                          # shape assertions
     python benchmarks/bench_fig4.py --trace-out run.jsonl    # traced cell
+    python benchmarks/bench_fig4.py --nodes 10,20,40,80      # scale sweep
+    python benchmarks/bench_fig4.py --nodes 80 --batch-window 0.002 --cache
 """
 
 import argparse
@@ -22,7 +24,7 @@ if __package__ in (None, ""):  # executed as a script: self-locate
 import pytest
 
 from benchmarks.conftest import run_cell
-from repro.analysis.scales import BENCHMARKS
+from repro.analysis.scales import BENCHMARKS, parse_nodes
 
 NODE_AXIS = (6, 12, 18)
 
@@ -72,24 +74,52 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--workload", default="bank", choices=sorted(BENCHMARKS))
     parser.add_argument("--scheduler", default="rts")
-    parser.add_argument("--nodes", type=int, default=12)
+    parser.add_argument("--nodes", default="12",
+                        help="node count, comma list (10,20,40,80), or a "
+                             "scale preset name; multi-count runs a sweep")
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--horizon", type=float, default=None,
+                        help="simulated seconds per cell (bench default if unset)")
+    parser.add_argument("--batch-window", type=float, default=0.0,
+                        help="piggyback-batching coalescing window in "
+                             "simulated seconds (0 = off)")
+    parser.add_argument("--cache", action="store_true",
+                        help="enable the version-fenced directory lookup cache")
     parser.add_argument("--trace-out", metavar="RUN.JSONL", default=None,
-                        help="export an obs event log; inspect with "
-                             "`python -m repro.obs.report RUN.JSONL`")
+                        help="export an obs event log (largest cell); inspect "
+                             "with `python -m repro.obs.report RUN.JSONL`")
     parser.add_argument("--chrome-out", metavar="TRACE.JSON", default=None,
                         help="export a Chrome trace_event file (Perfetto)")
     args = parser.parse_args(argv)
 
-    kwargs = {}
-    if args.trace_out or args.chrome_out:
-        kwargs["obs"] = dict(enabled=True, jsonl_path=args.trace_out,
-                             chrome_path=args.chrome_out)
-    r = run_cell(args.workload, args.scheduler, 0.9,
-                 nodes=args.nodes, seed=args.seed, **kwargs)
-    print(f"{args.workload}/{args.scheduler} @ {args.nodes} nodes: "
-          f"{r.commits} commits, {r.throughput:.1f} tx/s, "
-          f"abort_ratio={r.abort_ratio:.3f}")
+    node_axis = parse_nodes(args.nodes)
+    traced = max(node_axis)
+    header = (f"{'nodes':>5} | {'commits':>7} | {'tx/s':>8} | {'abort%':>6} | "
+              f"{'msgs':>8} | {'cache%':>6} | {'batch':>6}")
+    print(f"{args.workload}/{args.scheduler} scale sweep "
+          f"(batch_window={args.batch_window}, cache={args.cache})")
+    print(header)
+    print("-" * len(header))
+    for nodes in node_axis:
+        kwargs = {"rpc": dict(batch_window=args.batch_window, cache=args.cache)}
+        if args.horizon is not None:
+            kwargs["horizon"] = args.horizon
+        if nodes == traced and (args.trace_out or args.chrome_out):
+            kwargs["obs"] = dict(enabled=True, jsonl_path=args.trace_out,
+                                 chrome_path=args.chrome_out)
+        r = run_cell(args.workload, args.scheduler, 0.9,
+                     nodes=nodes, seed=args.seed, **kwargs)
+        x = r.extra
+        cache_pct = (f"{x['rpc_cache_hit_rate'] * 100:.1f}"
+                     if "rpc_cache_hit_rate" in x else "-")
+        mean_batch = (f"{x['rpc_mean_batch']:.2f}"
+                      if "rpc_mean_batch" in x else "-")
+        print(f"{nodes:>5} | {r.commits:>7} | {r.throughput:>8.1f} | "
+              f"{r.abort_ratio * 100:>6.1f} | {r.messages_sent:>8} | "
+              f"{cache_pct:>6} | {mean_batch:>6}")
+        if r.commits <= 0:
+            print(f"FAIL: no commits at {nodes} nodes")
+            return 1
     if args.trace_out:
         print(f"obs event log: {args.trace_out} "
               f"(python -m repro.obs.report {args.trace_out})")

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
-__all__ = ["BENCHMARKS", "SCALES", "Scale"]
+__all__ = ["BENCHMARKS", "SCALES", "SWEEP_NODES", "Scale", "parse_nodes"]
 
 #: canonical benchmark order — the paper's Table I / Figure 4-6 order
 BENCHMARKS: Tuple[str, ...] = ("vacation", "bank", "ll", "rbtree", "bst", "dht")
@@ -48,3 +48,25 @@ SCALES: Dict[str, Scale] = {
         table_commits=10_000,
     ),
 }
+
+#: the bench CLIs' cluster-size sweep — the paper's deployment axis
+#: endpoints at doubling steps (``--nodes`` sweep default)
+SWEEP_NODES: Tuple[int, ...] = (10, 20, 40, 80)
+
+
+def parse_nodes(spec: str) -> Tuple[int, ...]:
+    """Parse a ``--nodes`` CLI spec into a node-count axis.
+
+    Accepts a single count (``"12"``), a comma list (``"10,20,40,80"``),
+    or a scale-preset name (``"quick"`` -> that preset's node axis).
+    """
+    spec = spec.strip()
+    if spec in SCALES:
+        return SCALES[spec].node_counts
+    try:
+        counts = tuple(int(tok) for tok in spec.split(",") if tok.strip())
+    except ValueError:
+        raise ValueError(f"bad --nodes spec {spec!r}") from None
+    if not counts or any(c < 1 for c in counts):
+        raise ValueError(f"bad --nodes spec {spec!r}")
+    return counts

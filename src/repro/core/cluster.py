@@ -28,6 +28,7 @@ from repro.net.clocks import NodeClock
 from repro.net.network import Network
 from repro.net.node import Node
 from repro.net.topology import Topology
+from repro.rpc import LookupCache, PiggybackBatcher, RpcClient
 from repro.scheduler.adaptive import AdaptiveThreshold
 from repro.scheduler.backoff import BackoffScheduler
 from repro.scheduler.base import SchedulerPolicy
@@ -90,6 +91,18 @@ class Cluster:
         )
         self.metrics = MetricsCollector(keep_latency_samples=oc.enabled)
 
+        # RPC substrate (repro.rpc).  Strictly additive: the default
+        # RpcConfig (window 0, hint-mode cache) builds no batcher and
+        # keeps the lookup caches behaving exactly like the plain dicts
+        # they replaced, so same-seed runs are byte-identical.
+        rc = config.rpc
+        self.batcher: Optional[PiggybackBatcher] = None
+        if rc.batch_window > 0.0:
+            self.batcher = PiggybackBatcher(
+                self.env, rc.batch_window, tracer=self.tracer
+            ).install(self.network)
+        self.rpc_clients: List[RpcClient] = []
+
         # Fault injection (repro.faults).  Strictly additive: with the
         # default FaultConfig(enabled=False) no injector, heartbeats,
         # leases or RPC timeouts exist and runs are identical to a build
@@ -129,6 +142,16 @@ class Cluster:
                 tracer=self.tracer,
             )
             scheduler = self._make_scheduler(node_id)
+            rpc_client = RpcClient(
+                node,
+                policy=rpc_policy,
+                tracer=self.tracer,
+                metrics=self.metrics,
+                cache=LookupCache(
+                    fencing=rc.cache, capacity=rc.cache_capacity
+                ),
+            )
+            self.rpc_clients.append(rpc_client)
             proxy = TMProxy(
                 node,
                 directory,
@@ -137,8 +160,8 @@ class Cluster:
                 fallback_exec_estimate=config.fallback_exec_estimate,
                 winner_policy=config.winner_policy,
                 conflict_scope=config.conflict_scope,
-                rpc_policy=rpc_policy,
                 metrics=self.metrics,
+                rpc_client=rpc_client,
             )
             directory.proxy = proxy
             engine = TFAEngine(
@@ -167,6 +190,17 @@ class Cluster:
                     proxy.lease_heartbeat(interval, offset=offset),
                     name=f"n{node_id}.heartbeat",
                 )
+            if fc.orphan_sweep_interval is not None:
+                # Orphan repatriation sweeps, staggered like heartbeats.
+                sweep = fc.orphan_sweep_interval
+                for node_id, proxy in enumerate(self.proxies):
+                    offset = sweep * (node_id + 1) / (config.num_nodes + 1)
+                    self.env.process(
+                        proxy.orphan_sweep(
+                            sweep, min_age=fc.orphan_min_age, offset=offset
+                        ),
+                        name=f"n{node_id}.orphan_sweep",
+                    )
 
         self._task_ids = itertools.count(1)
         self._alloc_count = 0
@@ -290,6 +324,30 @@ class Cluster:
     @property
     def num_nodes(self) -> int:
         return self.config.num_nodes
+
+    def rpc_cache_stats(self) -> Dict[str, float]:
+        """Cluster-wide lookup-cache counters (zeros when never probed)."""
+        hits = sum(c.cache.hits for c in self.rpc_clients)
+        misses = sum(c.cache.misses for c in self.rpc_clients)
+        probes = hits + misses
+        return {
+            "cache_hits": float(hits),
+            "cache_misses": float(misses),
+            "cache_hit_rate": hits / probes if probes else 0.0,
+            "cache_fences": float(
+                sum(c.cache.fences for c in self.rpc_clients)
+            ),
+            "cache_evictions": float(
+                sum(c.cache.evictions for c in self.rpc_clients)
+            ),
+        }
+
+    def rpc_batch_stats(self) -> Dict[str, float]:
+        """Piggyback-batching counters (zeros when batching is off)."""
+        if self.batcher is None:
+            return {"batches": 0.0, "batched_messages": 0.0,
+                    "mean_batch": 0.0, "max_batch": 0.0}
+        return {k: float(v) for k, v in self.batcher.stats().items()}
 
     def owner_of(self, oid: str) -> Optional[int]:
         """Current registered owner (directory view)."""

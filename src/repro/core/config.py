@@ -16,7 +16,13 @@ from repro.dstm.contention import WinnerPolicy
 from repro.dstm.transaction import NestingModel
 from repro.net.topology import MS, TopologyKind
 
-__all__ = ["ClusterConfig", "FaultConfig", "ObsConfig", "SchedulerKind"]
+__all__ = [
+    "ClusterConfig",
+    "FaultConfig",
+    "ObsConfig",
+    "RpcConfig",
+    "SchedulerKind",
+]
 
 
 class SchedulerKind(str, enum.Enum):
@@ -87,6 +93,17 @@ class FaultConfig:
     #: ahead of the snapshot (a commit may be mid-flight)
     reclaim_grace: float = 1.5
 
+    # -- recovery: orphan repatriation ----------------------------------
+    #: period of the owner-side sweep that returns abandoned transferred
+    #: copies (granted, never re-requested, never registered elsewhere)
+    #: to the home snapshot before lease expiry would reclaim them.
+    #: None (default) disables the sweep.
+    orphan_sweep_interval: Optional[float] = None
+    #: a granted entry must be at least this old before the sweep may
+    #: repatriate it; None derives the floor from the RPC policy's
+    #: worst-case retry wait (the requester must have given up first).
+    orphan_min_age: Optional[float] = None
+
     # -- recovery: retry bounds -----------------------------------------
     #: nested (closed) transactions abort-and-retry at their own level;
     #: under faults a read can stay stale forever (e.g. a straggler
@@ -131,6 +148,41 @@ class FaultConfig:
                 "lease_renew_interval must be < lease_duration or leases "
                 "expire between heartbeats even on healthy nodes"
             )
+        if self.orphan_sweep_interval is not None and self.orphan_sweep_interval <= 0:
+            raise ValueError("orphan_sweep_interval must be > 0 (or None)")
+        if self.orphan_min_age is not None and self.orphan_min_age < 0:
+            raise ValueError("orphan_min_age must be >= 0 (or None)")
+
+
+@dataclass(frozen=True)
+class RpcConfig:
+    """Parameterisation of the RPC substrate (``repro.rpc``).
+
+    The defaults are strictly additive: ``batch_window=0`` installs no
+    batcher (every send keeps its own delivery event) and ``cache=False``
+    leaves the lookup cache in hint mode — byte-identical to the
+    pre-substrate build; the equivalence test pins this.  Turning either
+    knob on changes message timing (batching) or lookup traffic
+    (fencing), deterministically per seed.
+    """
+
+    #: per-link send-coalescing window (simulated seconds); 0 disables
+    #: batching entirely (no batcher object is even constructed)
+    batch_window: float = 0.0
+    #: enable version-fenced lookup caching (hint mode when False)
+    cache: bool = False
+    #: bound on cached lookup entries per node (None = unbounded)
+    cache_capacity: Optional[int] = None
+
+    def replace(self, **changes) -> "RpcConfig":
+        """A modified copy (sugar over :func:`dataclasses.replace`)."""
+        return dataclasses.replace(self, **changes)
+
+    def __post_init__(self) -> None:
+        if self.batch_window < 0:
+            raise ValueError(f"batch_window must be >= 0, got {self.batch_window}")
+        if self.cache_capacity is not None and self.cache_capacity < 1:
+            raise ValueError("cache_capacity must be >= 1 (or None)")
 
 
 @dataclass(frozen=True)
@@ -233,6 +285,10 @@ class ClusterConfig:
     #: deterministic fault plan; disabled by default (strictly additive)
     faults: FaultConfig = FaultConfig()
 
+    # -- rpc substrate -------------------------------------------------------
+    #: batching window + lookup-cache mode; defaults are strictly additive
+    rpc: RpcConfig = RpcConfig()
+
     # -- tracing -------------------------------------------------------------------
     trace: bool = False
     trace_categories: Optional[tuple[str, ...]] = None
@@ -260,5 +316,7 @@ class ClusterConfig:
         object.__setattr__(self, "winner_policy", WinnerPolicy(self.winner_policy))
         if isinstance(self.faults, dict):
             object.__setattr__(self, "faults", FaultConfig(**self.faults))
+        if isinstance(self.rpc, dict):
+            object.__setattr__(self, "rpc", RpcConfig(**self.rpc))
         if isinstance(self.obs, dict):
             object.__setattr__(self, "obs", ObsConfig(**self.obs))

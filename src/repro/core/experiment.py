@@ -126,5 +126,23 @@ def _extra(
             rpc_retries=m.rpc_retries.value,
             lease_reclaims=m.lease_reclaims.value,
             crash_aborts=m.crash_aborts.value,
+            orphan_returns=m.orphan_returns.value,
+        )
+    rc = cluster.config.rpc
+    if rc.cache:
+        cs = cluster.rpc_cache_stats()
+        extra.update(
+            rpc_cache_hits=int(cs["cache_hits"]),
+            rpc_cache_misses=int(cs["cache_misses"]),
+            rpc_cache_hit_rate=round(cs["cache_hit_rate"], 4),
+            rpc_cache_fences=int(cs["cache_fences"]),
+        )
+    if rc.batch_window > 0.0:
+        bs = cluster.rpc_batch_stats()
+        extra.update(
+            rpc_batches=int(bs["batches"]),
+            rpc_batched_messages=int(bs["batched_messages"]),
+            rpc_mean_batch=round(bs["mean_batch"], 3),
+            rpc_max_batch=int(bs["max_batch"]),
         )
     return extra

@@ -35,8 +35,9 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from repro.dstm.objects import ObjectState, VersionedObject
-from repro.net.message import Message, MessageType
+from repro.net.message import Message
 from repro.net.node import Node
+from repro.rpc import serve
 from repro.sim import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -90,11 +91,15 @@ class DirectoryShard:
         #: (the proxy is built later).  Needed to re-host reclaimed objects.
         self.proxy: Optional["TMProxy"] = None
         self._entries: Dict[str, DirEntry] = {}
-        node.on(MessageType.DIR_LOOKUP, self._on_lookup)
-        node.on(MessageType.DIR_UPDATE, self._on_update)
-        node.on(MessageType.READ_VALIDATE, self._on_validate)
-        node.on(MessageType.COMMIT_PUBLISH, self._on_commit_publish)
-        node.on(MessageType.LEASE_RENEW, self._on_lease_renew)
+        # The shard is the server side of the directory endpoints: each
+        # handler returns the reply payload; repro.rpc.serve binds it to
+        # the endpoint's request type and sends the typed reply.
+        serve(node, "dir_lookup", self._on_lookup)
+        serve(node, "dir_update", self._on_update)
+        serve(node, "read_validate", self._on_validate)
+        serve(node, "commit_publish", self._on_commit_publish)
+        serve(node, "lease_renew", self._on_lease_renew)
+        serve(node, "orphan_return", self._on_orphan_return)
 
     # -- local (home==here) API ----------------------------------------------------
 
@@ -131,6 +136,10 @@ class DirectoryShard:
         self._renew(entry)
 
     def lookup(self, oid: str) -> Optional[Tuple[int, int]]:
+        # Lazy lease enforcement: a read must never hand out an owner
+        # whose lease has already lapsed just because no DIR_LOOKUP has
+        # fired the reclaim yet (no-op when leases are off).
+        self._maybe_reclaim(oid)
         entry = self._entries.get(oid)
         return (entry.owner, entry.version) if entry is not None else None
 
@@ -139,6 +148,7 @@ class DirectoryShard:
         return entry.version if entry is not None else None
 
     def owner_of(self, oid: str) -> Optional[int]:
+        self._maybe_reclaim(oid)
         entry = self._entries.get(oid)
         return entry.owner if entry is not None else None
 
@@ -234,22 +244,18 @@ class DirectoryShard:
 
     # -- message handlers ---------------------------------------------------------------
 
-    def _on_lookup(self, msg: Message) -> None:
+    def _on_lookup(self, msg: Message) -> Dict[str, Any]:
         oid = msg.payload["oid"]
         self._maybe_reclaim(oid)
         entry = self._entries.get(oid)
-        self.node.reply(
-            msg,
-            MessageType.DIR_LOOKUP_REPLY,
-            {
-                "oid": oid,
-                "known": entry is not None,
-                "owner": entry.owner if entry else None,
-                "version": entry.version if entry else None,
-            },
-        )
+        return {
+            "oid": oid,
+            "known": entry is not None,
+            "owner": entry.owner if entry else None,
+            "version": entry.version if entry else None,
+        }
 
-    def _on_update(self, msg: Message) -> None:
+    def _on_update(self, msg: Message) -> Dict[str, Any]:
         p = msg.payload
         oid = p["oid"]
         owner = p["owner"]
@@ -281,8 +287,7 @@ class DirectoryShard:
                     entry.withdrawn.append(txid)
                     del entry.withdrawn[:-4]
                 self._renew(entry)
-            self.node.reply(msg, MessageType.DIR_UPDATE_ACK, {"oid": oid, "ok": True})
-            return
+            return {"oid": oid, "ok": True}
 
         if self.lease_duration is not None and version is None and entry is not None:
             # Ownership-transfer registration (no version bump).  Its
@@ -292,15 +297,11 @@ class DirectoryShard:
             # stale copy and must not take the entry over.
             vv = p.get("value_version")
             if vv is not None and int(vv) < entry.version:
-                self.node.reply(
-                    msg, MessageType.DIR_UPDATE_ACK,
-                    {
-                        "oid": oid, "ok": False,
-                        "registered_owner": entry.owner,
-                        "registered_version": entry.version,
-                    },
-                )
-                return
+                return {
+                    "oid": oid, "ok": False,
+                    "registered_owner": entry.owner,
+                    "registered_version": entry.version,
+                }
 
         if self.lease_duration is not None and version is not None and entry is not None:
             # Version fence: a commit registration must advance the
@@ -317,15 +318,11 @@ class DirectoryShard:
                 or (txid is not None and txid in entry.withdrawn)
             )
             if fenced:
-                self.node.reply(
-                    msg, MessageType.DIR_UPDATE_ACK,
-                    {
-                        "oid": oid, "ok": False,
-                        "registered_owner": entry.owner,
-                        "registered_version": entry.version,
-                    },
-                )
-                return
+                return {
+                    "oid": oid, "ok": False,
+                    "registered_owner": entry.owner,
+                    "registered_version": entry.version,
+                }
 
         if self.tracer.wants("dir.owner") and (entry is None or entry.owner != owner):
             # Ownership-migration audit: the registered owner changes.
@@ -340,24 +337,20 @@ class DirectoryShard:
             value_version=p.get("value_version"),
             registered_by=p.get("txid"),
         )
-        self.node.reply(msg, MessageType.DIR_UPDATE_ACK, {"oid": oid, "ok": True})
+        return {"oid": oid, "ok": True}
 
-    def _on_validate(self, msg: Message) -> None:
+    def _on_validate(self, msg: Message) -> Dict[str, Any]:
         oid = msg.payload["oid"]
         read_version = msg.payload["version"]
         registered = self.registered_version(oid)
-        self.node.reply(
-            msg,
-            MessageType.READ_VALIDATE_REPLY,
-            {
-                "oid": oid,
-                # Unknown objects validate trivially: nothing committed yet.
-                "valid": registered is None or registered == read_version,
-                "registered_version": registered,
-            },
-        )
+        return {
+            "oid": oid,
+            # Unknown objects validate trivially: nothing committed yet.
+            "valid": registered is None or registered == read_version,
+            "registered_version": registered,
+        }
 
-    def _on_commit_publish(self, msg: Message) -> None:
+    def _on_commit_publish(self, msg: Message) -> Dict[str, Any]:
         """A committer synced its installed ``(version, value)`` to us.
 
         Sent (with retries) right after every fault-mode commit, so the
@@ -370,11 +363,9 @@ class DirectoryShard:
             self._note_snapshot(entry, p.get("version"), p.get("value"))
             if entry.owner == msg.src:
                 self._renew(entry)
-        self.node.reply(
-            msg, MessageType.COMMIT_PUBLISH_ACK, {"oid": p["oid"], "ok": True}
-        )
+        return {"oid": p["oid"], "ok": True}
 
-    def _on_lease_renew(self, msg: Message) -> None:
+    def _on_lease_renew(self, msg: Message) -> Dict[str, Any]:
         """Heartbeat from a proxy listing its owned objects.
 
         Renews leases and absorbs snapshots for entries the sender still
@@ -393,7 +384,58 @@ class DirectoryShard:
                 self._note_snapshot(entry, version, value)
             elif entry.version > int(version):
                 stale.append(oid)
-        self.node.reply(msg, MessageType.LEASE_RENEW_ACK, {"stale": stale})
+        return {"stale": stale}
+
+    def _on_orphan_return(self, msg: Message) -> Dict[str, Any]:
+        """An old owner returns a transferred copy nobody came to claim.
+
+        The sender granted an ownership transfer whose response was lost
+        and whose requester never re-requested (gave up or crashed); the
+        copy it holds is the object's latest committed state.  Accept it
+        only while the sender is still the registered owner and the
+        registered version has not moved past the copy — then re-host it
+        here under a bumped (fence) version, exactly like a lease
+        reclaim but from fresher state and without waiting out the
+        lease.  Anything else answers ``fenced``: the registry has
+        already moved on (the requester registered after all, or a
+        reclaim/competing commit won) and the sender must drop its
+        idempotent re-grant cache or it would resurrect a stale copy.
+        """
+        p = msg.payload
+        oid = p["oid"]
+        version = int(p["version"])
+        entry = self._entries.get(oid)
+        if entry is None or entry.owner != msg.src or entry.version > version:
+            return {
+                "oid": oid, "accepted": False, "fenced": True,
+                "registered_owner": entry.owner if entry else None,
+                "registered_version": entry.version if entry else None,
+            }
+        local = self.proxy.store.get(oid) if self.proxy is not None else None
+        if local is not None and local.state is not ObjectState.FREE:
+            # Our own proxy is mid-validation on a copy of this object; a
+            # live local commit will settle the entry.  Not fenced: the
+            # sender keeps its cache and retries on a later sweep.
+            return {"oid": oid, "accepted": False, "fenced": False}
+        self._note_snapshot(entry, version, p["value"])
+        new_version = max(entry.version, version) + 1
+        entry.owner = self.node.node_id
+        entry.version = new_version
+        entry.registered_by = None
+        entry.snapshot_version = new_version
+        entry.snapshot_value = p["value"]
+        entry.lease_expires_at = math.inf
+        if self.proxy is not None:
+            self.proxy.store[oid] = VersionedObject(oid, p["value"], new_version)
+            self.proxy.owner_hints[oid] = self.node.node_id
+        if self.metrics is not None:
+            self.metrics.orphan_returns.increment()
+        if self.tracer.wants("fault.orphan_return"):
+            self.tracer.emit(
+                self.node.env.now, "fault.orphan_return", oid,
+                old_owner=msg.src, version=new_version,
+            )
+        return {"oid": oid, "accepted": True, "version": new_version}
 
     def __repr__(self) -> str:
         return f"<DirectoryShard node={self.node.node_id} entries={len(self._entries)}>"

@@ -10,6 +10,8 @@ from __future__ import annotations
 import enum
 from typing import Optional
 
+from repro.rpc.errors import PeerUnreachable
+
 __all__ = [
     "AbortReason",
     "OwnerUnreachable",
@@ -49,19 +51,15 @@ class TransactionError(RuntimeError):
     """Programming errors against the transaction API (not aborts)."""
 
 
-class OwnerUnreachable(RuntimeError):
+class OwnerUnreachable(PeerUnreachable):
     """An RPC peer stayed silent through every timeout/retry attempt.
 
-    Raised by :meth:`repro.dstm.proxy.TMProxy.rpc` under fault injection;
-    protocol layers convert it into a :class:`TransactionAborted` with
-    reason :attr:`AbortReason.OWNER_FAILURE`.
+    The D-STM face of :class:`repro.rpc.errors.PeerUnreachable` (which it
+    subclasses): raised by :meth:`repro.dstm.proxy.TMProxy.rpc` under
+    fault injection; protocol layers convert it into a
+    :class:`TransactionAborted` with reason
+    :attr:`AbortReason.OWNER_FAILURE`.
     """
-
-    def __init__(self, dst: int, what: str, attempts: int) -> None:
-        super().__init__(f"node {dst} unreachable: {what} failed {attempts}x")
-        self.dst = dst
-        self.what = what
-        self.attempts = attempts
 
 
 class TransactionAborted(Exception):

@@ -40,7 +40,8 @@ from repro.dstm.errors import (
 from repro.dstm.objects import ObjectMode, ObjectState, VersionedObject, home_node
 from repro.dstm.transaction import ETS, Transaction
 from repro.net.message import Message, MessageType
-from repro.net.node import Node, RpcError
+from repro.net.node import Node
+from repro.rpc import ENDPOINTS, LookupCache, PeerUnreachable, RpcClient
 from repro.scheduler.base import (
     ConflictContext,
     ConflictDecision,
@@ -93,15 +94,24 @@ class TMProxy:
         conflict_scope: str = "root",
         rpc_policy: Optional[Any] = None,
         metrics: Optional[Any] = None,
+        rpc_client: Optional[RpcClient] = None,
     ) -> None:
         self.node = node
         self.env = node.env
         self.directory = directory
         self.scheduler = scheduler
         self.tracer = tracer or Tracer()
-        #: timeout/retry policy for RPCs (:class:`repro.faults.RpcPolicy`);
+        #: the typed caller side of the RPC substrate.  Built here from
+        #: the legacy knobs when the cluster does not supply one, so
+        #: directly-constructed proxies (tests) keep working unchanged.
+        if rpc_client is None:
+            rpc_client = RpcClient(
+                node, policy=rpc_policy, tracer=self.tracer, metrics=metrics
+            )
+        self.rpc_client = rpc_client
+        #: timeout/retry policy for RPCs (:class:`repro.rpc.RetryPolicy`);
         #: None (fault-free build) keeps every RPC a plain blocking wait.
-        self.rpc_policy = rpc_policy
+        self.rpc_policy = rpc_client.policy
         #: the cluster metrics collector, for fault counters (optional)
         self.metrics = metrics
         self.fallback_exec_estimate = float(fallback_exec_estimate)
@@ -125,8 +135,11 @@ class TMProxy:
         self.store: Dict[str, VersionedObject] = {}
         #: the paper's scheduling_List: per-object requester queues
         self.queues: Dict[str, RequesterList] = {}
-        #: last known owner per object (routing hints; may be stale)
-        self.owner_hints: Dict[str, int] = {}
+        #: last known owner per object: the node's directory lookup cache
+        #: (shared with TFA validation and fault recovery through the rpc
+        #: client).  Hint mode behaves exactly like the plain dict it
+        #: replaced; fenced mode invalidates on observed version advance.
+        self.owner_hints: LookupCache = rpc_client.cache
         #: the paper's TransactionQueue: (root txid, oid) -> waiting event
         self._waiters: Dict[Tuple[str, str], Any] = {}
         #: EWMA of observed validation-window durations (for holder_remaining)
@@ -141,12 +154,14 @@ class TMProxy:
         #: how many times an expired waiter re-requests before aborting
         self.rerequest_limit = 8
         #: fault recovery: the last ownership transfer we granted, per
-        #: oid — (requester node, requester root txid, response payload).
-        #: A transferred grant deletes our copy before the response hits
-        #: the wire; if that response is dropped the copy exists nowhere.
-        #: The same requester's RPC retry is answered from this cache
-        #: (idempotent re-grant).  Cleared when the object comes back.
-        self._granted: Dict[str, Tuple[int, str, Dict[str, Any]]] = {}
+        #: oid — (requester node, requester root txid, response payload,
+        #: grant time).  A transferred grant deletes our copy before the
+        #: response hits the wire; if that response is dropped the copy
+        #: exists nowhere.  The same requester's RPC retry is answered
+        #: from this cache (idempotent re-grant); the orphan sweep
+        #: repatriates entries old enough that the requester must have
+        #: given up.  Cleared when the object comes back.
+        self._granted: Dict[str, Tuple[int, str, Dict[str, Any], float]] = {}
 
         node.on(MessageType.RETRIEVE_REQUEST, self._on_retrieve_request)
         node.on(MessageType.OBJECT_HANDOFF, self._on_object_handoff)
@@ -184,60 +199,24 @@ class TMProxy:
     ) -> Generator[Any, Any, Message]:
         """A proxy RPC (generator; ``yield from``).
 
-        Without an :attr:`rpc_policy` (fault-free build) this is exactly
-        :meth:`Node.request`: a plain blocking wait, no timeout events.
-        With one, the reply is awaited under a timeout that grows
-        exponentially across retries (the timeout *is* the backoff); a
-        peer silent through every attempt raises
+        Delegates to the node's :class:`~repro.rpc.RpcClient` — the
+        substrate owns the tracing/metrics and (via
+        :meth:`~repro.net.node.Node.request`) the single retry loop.
+        Without a policy (fault-free build) the call is a plain blocking
+        wait, no timeout events; with one, a peer silent through every
+        growing-timeout attempt surfaces as
         :class:`~repro.dstm.errors.OwnerUnreachable`.
         """
-        rpc_trace = self.tracer.wants("rpc.issue")
-        if rpc_trace:
-            self.tracer.emit(
-                self.env.now, "rpc.issue", mtype.value,
-                node=f"n{self.node.node_id}", dst=dst,
-            )
-        pol = self.rpc_policy
-        if pol is None:
-            reply = yield from self.node.request(dst, mtype, payload)
-            if rpc_trace:
-                self.tracer.emit(
-                    self.env.now, "rpc.done", mtype.value,
-                    node=f"n{self.node.node_id}", dst=dst, ok=True, retries=0,
-                )
-            return reply
-        attempts = pol.max_retries + 1
-        for attempt in range(attempts):
-            window = pol.nth_timeout(attempt)
-            try:
-                reply = yield from self.node.request(
-                    dst, mtype, payload, reply_timeout=window
-                )
-                if rpc_trace:
-                    self.tracer.emit(
-                        self.env.now, "rpc.done", mtype.value,
-                        node=f"n{self.node.node_id}", dst=dst, ok=True,
-                        retries=attempt,
-                    )
-                return reply
-            except RpcError:
-                if self.metrics is not None:
-                    self.metrics.rpc_timeouts.increment()
-                if attempt + 1 < attempts:
-                    if self.metrics is not None:
-                        self.metrics.rpc_retries.increment()
-                    if self.tracer.wants("fault.rpc_retry"):
-                        self.tracer.emit(
-                            self.env.now, "fault.rpc_retry", mtype.value,
-                            dst=dst, attempt=attempt + 1, window=window,
-                        )
-        if rpc_trace:
-            self.tracer.emit(
-                self.env.now, "rpc.done", mtype.value,
-                node=f"n{self.node.node_id}", dst=dst, ok=False,
-                retries=pol.max_retries,
-            )
-        raise OwnerUnreachable(dst, mtype.value, attempts)
+        endpoint = ENDPOINTS.for_request(mtype)
+        if endpoint is None:
+            raise TransactionError(f"no endpoint registered for {mtype.value}")
+        try:
+            reply = yield from self.rpc_client.call(dst, endpoint.name, payload)
+        except OwnerUnreachable:
+            raise
+        except PeerUnreachable as exc:
+            raise OwnerUnreachable(exc.dst, exc.what, exc.attempts) from None
+        return reply
 
     # ------------------------------------------------------------------
     # Requester side: Open_Object (Algorithm 2)
@@ -300,7 +279,12 @@ class TMProxy:
         expiries: int,
     ) -> Generator[Any, Any, Grant]:
         for hop in range(256):
-            owner = self.owner_hints.get(oid)
+            owner = self.owner_hints.lookup(oid)
+            if self.tracer.wants("rpc.cache"):
+                self.tracer.emit(
+                    self.env.now, "rpc.cache", oid,
+                    node=f"n{self.node.node_id}", hit=owner is not None,
+                )
             if owner is None:
                 owner = yield from self._lookup_owner(oid)
             reply = yield from self.rpc(
@@ -414,7 +398,7 @@ class TMProxy:
         p = reply.payload
         if not p["known"]:
             raise TransactionError(f"object {oid} is not registered anywhere")
-        self.owner_hints[oid] = p["owner"]
+        self.owner_hints.put(oid, p["owner"], p.get("version"))
         return int(p["owner"])
 
     def _absorb_grant(
@@ -452,9 +436,9 @@ class TMProxy:
                 obj.holder = root.task_id
                 self._hold_started.setdefault(oid, self.node.now_local)
             self._holder_start[oid] = root.start_local_time
-            self.owner_hints[oid] = self.node.node_id
+            self.owner_hints.put(oid, self.node.node_id, grant.version)
         else:
-            self.owner_hints.setdefault(oid, served_by)
+            self.owner_hints.setdefault(oid, served_by, grant.version)
         if self.tracer.wants("dstm.grant"):
             self.tracer.emit(
                 self.env.now, "dstm.grant", oid,
@@ -534,7 +518,10 @@ class TMProxy:
                 # The requester we transferred the object to is asking
                 # again: the response carrying the single writable copy
                 # was lost.  Re-send it (idempotent — the requester
-                # drops duplicates of a transfer it already absorbed).
+                # drops duplicates of a transfer it already absorbed),
+                # and refresh the grant age: the requester is alive, so
+                # the orphan sweep must not repatriate under it.
+                self._granted[oid] = (cached[0], cached[1], cached[2], self.env.now)
                 self.node.reply(msg, MessageType.RETRIEVE_RESPONSE, dict(cached[2]))
                 return
             self.node.reply(
@@ -701,7 +688,7 @@ class TMProxy:
                 # so the requester's retry can be answered if the
                 # response is dropped.
                 self._granted[obj.oid] = (
-                    msg.src, msg.payload["txid"], dict(payload)
+                    msg.src, msg.payload["txid"], dict(payload), self.env.now
                 )
         self.node.reply(msg, MessageType.RETRIEVE_RESPONSE, payload)
 
@@ -789,7 +776,9 @@ class TMProxy:
             # Same in-flight hazard as a transferred grant: if this
             # hand-off is dropped, the acquirer's re-request (its backoff
             # expires with no object) is served from the cache.
-            self._granted[oid] = (acquirer.node, acquirer.txid, dict(handoff))
+            self._granted[oid] = (
+                acquirer.node, acquirer.txid, dict(handoff), self.env.now
+            )
         self.node.send(acquirer.node, MessageType.OBJECT_HANDOFF, handoff)
         if queue_trace:
             # The queue (and backlog) just migrated away with the object.
@@ -926,6 +915,78 @@ class TMProxy:
                     continue  # our own directory sees our copies directly
                 self.node.send(home, MessageType.LEASE_RENEW, {"objects": objects})
             yield self.env.timeout(interval)
+
+    def orphan_sweep(
+        self,
+        interval: float,
+        min_age: Optional[float] = None,
+        offset: float = 0.0,
+    ) -> Generator[Any, Any, None]:
+        """Infinite sweep process: repatriate abandoned transferred copies.
+
+        A transferred grant whose response was lost leaves the single
+        writable copy existing only in this node's :attr:`_granted` cache.
+        Normally the requester's RPC retries pick it up; if the requester
+        gave up (its root aborted with ``OWNER_FAILURE``) or crashed, the
+        copy is orphaned — unreachable until the home's lease reclaim
+        re-hosts it from a possibly older snapshot.  The sweep returns
+        such copies to the home (``ORPHAN_RETURN``) *before* lease expiry,
+        so the object comes back under its latest committed value.
+
+        ``min_age`` gates repatriation: an entry younger than it may still
+        be claimed by the requester's in-flight retries.  The default is
+        the RPC policy's worst-case retry wait — by then the requester has
+        provably given up (or will be served by the home's fenced copy).
+        """
+        pol = self.rpc_policy
+        if min_age is None:
+            min_age = pol.worst_case_wait() if pol is not None else interval
+        if offset > 0.0:
+            yield self.env.timeout(offset)
+        while True:
+            yield self.env.timeout(interval)
+            yield from self._sweep_orphans(min_age)
+
+    def _sweep_orphans(self, min_age: float) -> Generator[Any, Any, None]:
+        now = self.env.now
+        for oid in sorted(self._granted):
+            entry = self._granted.get(oid)
+            if entry is None:
+                continue
+            requester, _txid, payload, granted_at = entry
+            if now - granted_at < min_age:
+                continue
+            if oid in self.store:
+                # The object came home through another path (late
+                # hand-off forwarding); the grant cache is just stale.
+                self._granted.pop(oid, None)
+                continue
+            home = home_node(oid, self.node.network.num_nodes)
+            try:
+                reply = yield from self.rpc(
+                    home, MessageType.ORPHAN_RETURN,
+                    {
+                        "oid": oid,
+                        "version": int(payload["version"]),
+                        "value": payload["value"],
+                        "granted_to": requester,
+                    },
+                )
+            except OwnerUnreachable:
+                continue  # silent home: retry on the next sweep
+            p = reply.payload
+            if p.get("accepted") or p.get("fenced"):
+                # Accepted: the home re-hosted the copy under a fenced
+                # version.  Fenced: the registry already moved past this
+                # grant (the requester registered after all, or a reclaim
+                # won).  Either way re-granting from the cache would
+                # resurrect a stale copy — drop it, unless a newer grant
+                # replaced the entry while this RPC was in flight.
+                current = self._granted.get(oid)
+                if current is not None and current[3] == granted_at:
+                    self._granted.pop(oid, None)
+                if self.owner_hints.get(oid) == requester:
+                    self.owner_hints.pop(oid, None)
 
     # ------------------------------------------------------------------
     # Introspection / invariants (tests lean on these)

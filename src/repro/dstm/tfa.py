@@ -250,6 +250,12 @@ class TFAEngine:
             )
         except OwnerUnreachable:
             return None
+        # The reply names the registered version: a lookup-cache entry
+        # learned at an older version is provably stale — fence it so the
+        # next open asks the directory (no-op in hint mode).
+        self.proxy.owner_hints.note_version(
+            oid, reply.payload.get("registered_version")
+        )
         return bool(reply.payload["valid"])
 
     # ------------------------------------------------------------------
@@ -453,6 +459,14 @@ class TFAEngine:
         root.serialized_at = self.env.now
         for oid, value in root.wset.items():
             self.proxy.store[oid].commit_write(value)
+            if self.proxy.owner_hints.fencing:
+                # Advance our own cache entry to the registered version,
+                # or the next validate reply would fence the entry for an
+                # object we ourselves hold.  (Fenced mode only: hint mode
+                # must stay byte-identical to the legacy dict.)
+                self.proxy.owner_hints.put(
+                    oid, self.node.node_id, new_versions[oid]
+                )
         root.status = TxStatus.COMMITTED
         if self.publish_commits:
             # Capture before release: the hand-off may migrate the object
@@ -491,7 +505,16 @@ class TFAEngine:
             )
         except OwnerUnreachable:
             return {"oid": oid, "ok": False, "unreachable": True}
-        return reply.payload
+        ack = reply.payload
+        if not ack.get("ok", True) and ack.get("registered_owner") is not None:
+            # A fenced registration ack is authoritative: it names the
+            # real owner and version — refresh the lookup cache with it
+            # (no-op in hint mode).
+            self.proxy.owner_hints.note_version(
+                oid, ack.get("registered_version"),
+                owner=ack["registered_owner"],
+            )
+        return ack
 
     def _withdraw_registrations(
         self, old_versions: Dict[str, int], txid: str

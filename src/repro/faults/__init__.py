@@ -8,10 +8,13 @@ The subsystem has two halves:
   windows, per-message fates); :class:`FaultInjector` installs that plan
   onto a :class:`~repro.net.network.Network`, deciding each message's
   fate at send time and vetoing delivery to crashed nodes;
-* **recovery** — :class:`RpcPolicy` parameterises the proxy's
-  timeout/retry RPC wrapper; the lease/reclaim machinery lives in
-  :class:`~repro.dstm.directory.DirectoryShard` and the heartbeat and
-  commit-publish processes in :class:`~repro.dstm.proxy.TMProxy`.
+* **recovery** — :class:`RpcPolicy` (an alias of
+  :class:`repro.rpc.RetryPolicy`, the stack's single retry/backoff
+  policy object) parameterises the RPC substrate's timeout/retry loop;
+  the lease/reclaim machinery lives in
+  :class:`~repro.dstm.directory.DirectoryShard` and the heartbeat,
+  commit-publish, and orphan-sweep processes in
+  :class:`~repro.dstm.proxy.TMProxy`.
 
 Everything is driven from config-seeded RNG streams: identical seeds
 produce identical fault timelines and therefore bit-identical runs.

@@ -1,60 +1,18 @@
 """Recovery-side knobs: the RPC timeout/retry policy.
 
-The policy is deliberately a plain value object: the retry loop itself
-lives in :meth:`repro.dstm.proxy.TMProxy.rpc` (it needs the node's event
-machinery), the lease/reclaim mechanics in
-:class:`~repro.dstm.directory.DirectoryShard`, and the heartbeat and
-commit-publish processes in :class:`~repro.dstm.proxy.TMProxy`.  Keeping
-the knobs here lets tests and the chaos benchmark build tight policies
-without touching cluster config.
-
-Retry semantics: attempt 0 waits ``timeout``; each subsequent attempt
-multiplies the wait by ``backoff_factor`` up to ``backoff_cap`` — the
-growing timeout *is* the exponential backoff (there is no separate sleep,
-so a recovered peer is re-probed as soon as the previous window closes).
+Since the ``repro.rpc`` refactor the policy class lives in
+:mod:`repro.rpc.policy` — the substrate every RPC in the system runs
+under — and ``RpcPolicy`` is that class, re-exported under its historic
+name so existing imports and configs keep working.  The retry loop
+itself lives in :meth:`repro.net.node.Node.request` (driven by
+:class:`repro.rpc.RpcClient`); the lease/reclaim mechanics in
+:class:`~repro.dstm.directory.DirectoryShard`; the heartbeat,
+commit-publish, and orphan-sweep processes in
+:class:`~repro.dstm.proxy.TMProxy`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-from repro.core.config import FaultConfig
+from repro.rpc.policy import RetryPolicy as RpcPolicy
 
 __all__ = ["RpcPolicy"]
-
-
-@dataclass(frozen=True)
-class RpcPolicy:
-    """Timeout/backoff parameters for proxy RPCs under fault injection."""
-
-    timeout: float = 0.25
-    max_retries: int = 5
-    backoff_factor: float = 2.0
-    backoff_cap: float = 2.0
-
-    def __post_init__(self) -> None:
-        if self.timeout <= 0:
-            raise ValueError("timeout must be > 0")
-        if self.max_retries < 0:
-            raise ValueError("max_retries must be >= 0")
-        if self.backoff_factor < 1.0:
-            raise ValueError("backoff_factor must be >= 1")
-        if self.backoff_cap < self.timeout:
-            raise ValueError("backoff_cap must be >= timeout")
-
-    @classmethod
-    def from_config(cls, faults: FaultConfig) -> "RpcPolicy":
-        return cls(
-            timeout=faults.rpc_timeout,
-            max_retries=faults.rpc_max_retries,
-            backoff_factor=faults.rpc_backoff_factor,
-            backoff_cap=faults.rpc_backoff_cap,
-        )
-
-    def nth_timeout(self, attempt: int) -> float:
-        """The reply window used on ``attempt`` (0-based)."""
-        return min(self.timeout * self.backoff_factor**attempt, self.backoff_cap)
-
-    def worst_case_wait(self) -> float:
-        """Total simulated time an unreachable peer can cost one RPC."""
-        return sum(self.nth_timeout(i) for i in range(self.max_retries + 1))

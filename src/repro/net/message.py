@@ -41,6 +41,8 @@ class MessageType(str, enum.Enum):
     # Failure recovery (repro.faults): ownership-lease heartbeats
     LEASE_RENEW = "lease_renew"              # owner -> home: I'm alive
     LEASE_RENEW_ACK = "lease_renew_ack"      # home -> owner: + stale oids
+    ORPHAN_RETURN = "orphan_return"          # owner -> home: abandoned copy back
+    ORPHAN_RETURN_ACK = "orphan_return_ack"  # home -> owner: accepted / fenced
 
     # Arrow distributed directory (alternative CC locator; ablation A9)
     ARROW_FIND = "arrow_find"

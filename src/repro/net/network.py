@@ -40,6 +40,10 @@ class Network:
         #: decides each message's fate (drop / duplicate / extra delay)
         #: at send time and can veto delivery (crashed destination).
         self.injector = None
+        #: optional :class:`repro.rpc.PiggybackBatcher`; when set, remote
+        #: sends coalesce per link for one window before flushing (local
+        #: sends never batch — they are function calls, not wire traffic).
+        self.batcher = None
         # Instrumentation
         self.messages_sent = Counter("net.messages_sent")
         self.messages_delivered = Counter("net.messages_delivered")
@@ -85,6 +89,8 @@ class Network:
                 self.env.now, "net.send", f"msg{msg.msg_id}",
                 mtype=msg.mtype.value, src=msg.src, dst=msg.dst, delay=delay,
             )
+        if self.batcher is not None and msg.src != msg.dst:
+            return self.batcher.enqueue(msg, delay)
         deliver_at = self.env.now + delay
         if self.injector is not None:
             delays = self.injector.on_send(msg, delay)
@@ -110,7 +116,9 @@ class Network:
         return copy
 
     def _deliver(self, event) -> None:
-        msg: Message = event.value
+        self._deliver_one(event.value)
+
+    def _deliver_one(self, msg: Message) -> None:
         if self.injector is not None and not self.injector.on_deliver(msg):
             return  # destination crashed while the message was in flight
         self.messages_delivered.increment()
@@ -120,6 +128,35 @@ class Network:
                 mtype=msg.mtype.value, src=msg.src, dst=msg.dst,
             )
         self._nodes[msg.dst].deliver(msg)
+
+    # -- batched path (repro.rpc.PiggybackBatcher) -------------------------
+
+    def deliver_batch(self, batch) -> None:
+        """Ship a flushed coalescing buffer: members whose fate is the
+        plain link delay ride ONE traversal event; fault injection still
+        judges each member individually, and a member the injector drops,
+        duplicates, or delays falls back to its own scheduling."""
+        riders = []
+        link_delay = batch[0][1]
+        for msg, delay in batch:
+            if self.injector is None:
+                riders.append(msg)
+                continue
+            delays = self.injector.on_send(msg, delay)
+            for i, d in enumerate(delays):
+                copy = msg if i == 0 else self._clone(msg)
+                if d == delay:
+                    riders.append(copy)
+                else:
+                    timeout = self.env.timeout(d, value=copy)
+                    timeout.add_callback(self._deliver)
+        if riders:
+            timeout = self.env.timeout(link_delay, value=riders)
+            timeout.add_callback(self._deliver_riders)
+
+    def _deliver_riders(self, event) -> None:
+        for msg in event.value:
+            self._deliver_one(msg)
 
     def broadcast(
         self,

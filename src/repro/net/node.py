@@ -163,12 +163,41 @@ class Node:
         mtype: MessageType,
         payload: Optional[dict] = None,
         reply_timeout: Optional[float] = None,
+        policy: Optional[Any] = None,
+        on_timeout: Optional[Callable[[int, float, bool], None]] = None,
     ) -> Generator[Any, Any, Message]:
         """Blocking RPC (generator; use with ``yield from``).
 
         Returns the reply :class:`Message`; raises :class:`RpcError` if
         ``reply_timeout`` elapses first.
+
+        With a ``policy`` (a :class:`repro.rpc.RetryPolicy`) this is THE
+        retry loop of the whole stack: each attempt re-sends the request
+        and awaits the reply under ``policy.nth_timeout(attempt)`` — the
+        growing window is the backoff — until a reply lands or every
+        attempt is exhausted (:class:`RpcError`).  ``on_timeout(attempt,
+        window, will_retry)`` is invoked after each expired window so
+        callers can count/trace retries without owning the loop.
+        ``reply_timeout`` is ignored when a policy is given.
         """
+        if policy is not None:
+            attempts = policy.max_retries + 1
+            for attempt in range(attempts):
+                window = policy.nth_timeout(attempt)
+                msg = self.send(dst, mtype, payload)
+                waiter = self.env.event()
+                self._pending_replies[msg.msg_id] = waiter
+                expiry = self.env.timeout(window)
+                outcome = yield (waiter | expiry)
+                if waiter in outcome:
+                    return outcome[waiter]
+                self._pending_replies.pop(msg.msg_id, None)
+                if on_timeout is not None:
+                    on_timeout(attempt, window, attempt + 1 < attempts)
+            raise RpcError(
+                f"node {self.node_id}: no reply to {mtype.value} from node "
+                f"{dst} after {attempts} attempts"
+            )
         msg = self.send(dst, mtype, payload)
         waiter = self.env.event()
         self._pending_replies[msg.msg_id] = waiter

@@ -31,12 +31,19 @@ Categories (the span/series/audit model; see DESIGN.md "Observability"):
     ``elapsed``, ``backoff``).
 ``rpc.issue`` / ``rpc.done``
     Proxy RPC lifecycle; ``rpc.done`` carries ``ok`` and ``retries``.
+``rpc.batch``
+    One piggyback-batch flush on the wire: ``src``, ``dst`` and ``size``
+    (messages coalesced into the single simulated send).
+``rpc.cache``
+    One directory-lookup cache probe on the open path: ``node`` and
+    ``hit`` (the cluster-level hit rate is this series reduced).
 ``obs.queue``
     Gauge: per-object requester-queue length at its owner (``node``,
     ``len``) whenever it changes.
 ``fault.*``
-    Fault-injection events (drops, duplicates, delays, crash/restart and
-    partition windows, RPC retries) — see :mod:`repro.faults`.
+    Fault-injection and recovery events (drops, duplicates, delays,
+    crash/restart and partition windows, RPC retries, orphan
+    repatriation) — see :mod:`repro.faults`.
 
 Validation here is deliberately hand-rolled (no jsonschema dependency):
 :func:`validate_event` checks the base shape plus per-category required
@@ -71,6 +78,8 @@ OBS_CATEGORIES = frozenset(
         "sched.decision",
         "rpc.issue",
         "rpc.done",
+        "rpc.batch",
+        "rpc.cache",
         "obs.queue",
         "dstm.conflict",
         "dstm.grant",
@@ -84,6 +93,7 @@ OBS_CATEGORIES = frozenset(
         "fault.partition",
         "fault.partition_end",
         "fault.rpc_retry",
+        "fault.orphan_return",
     }
 )
 
@@ -97,6 +107,8 @@ _REQUIRED: Dict[str, frozenset] = {
     "sched.decision": frozenset({"node", "action", "cause"}),
     "rpc.issue": frozenset({"node", "dst"}),
     "rpc.done": frozenset({"node", "dst", "ok", "retries"}),
+    "rpc.batch": frozenset({"size"}),
+    "rpc.cache": frozenset({"node", "hit"}),
     "obs.queue": frozenset({"node", "len"}),
     "fault.drop": frozenset({"src", "dst"}),
 }

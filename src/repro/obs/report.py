@@ -13,9 +13,12 @@ percentiles, which is fine offline) and prints:
 
 * a run overview (event count, simulated time range);
 * the per-node table — commits, aborts, abort ratio, throughput, RPC
-  traffic, mean RPC in-flight, and the unreachability EWMA;
+  traffic, mean RPC in-flight, lookup-cache hit rate, and the
+  unreachability EWMA;
 * the top contended objects — conflicts, ownership migrations, mean and
   max queue depth;
+* the RPC piggyback-batching summary (flushes, coalesced messages, mean
+  and max batch size) when batching was on;
 * span-phase latency percentiles (p50/p95/p99, exact);
 * the scheduler-decision histogram (action x cause);
 * the fault timeline (first events, with a truncation note).
@@ -101,6 +104,7 @@ def summarize(
         "nodes": series.node_rows(),
         "objects": series.object_rows(top=top),
         "decisions": series.decision_rows(),
+        "batching": series.batch_row(),
         "phases": phases,
         "faults": list(series.faults),
         "faults_dropped": series.faults_dropped,
@@ -156,14 +160,20 @@ def render(summary: Dict[str, Any], fault_limit: int = 12) -> str:
         out.append(
             _table(
                 ["node", "commits", "aborts", "abort%", "tx/s", "peak tx/s",
-                 "rpcs", "rpc fail", "inflight", "unreach"],
+                 "rpcs", "rpc fail", "inflight", "cache%", "unreach"],
                 [
                     [
                         r["node"], str(r["commits"]), str(r["aborts"]),
                         f"{r['abort_ratio'] * 100:.1f}",
                         f"{r['throughput']:.1f}", f"{r['peak_window_tps']:.1f}",
                         str(r["rpc_issued"]), str(r["rpc_failed"]),
-                        f"{r['mean_inflight']:.2f}", f"{r['unreach']:.3f}",
+                        f"{r['mean_inflight']:.2f}",
+                        (
+                            f"{r['cache_hit_rate'] * 100:.1f}"
+                            if r.get("cache_hits", 0) + r.get("cache_misses", 0)
+                            else "-"
+                        ),
+                        f"{r['unreach']:.3f}",
                     ]
                     for r in summary["nodes"]
                 ],
@@ -198,6 +208,16 @@ def render(summary: Dict[str, Any], fault_limit: int = 12) -> str:
                     for name, row in summary["phases"].items()
                 ],
             )
+        )
+
+    batching = summary.get("batching") or {}
+    if batching.get("batches"):
+        out.append("\n## rpc batching")
+        out.append(
+            f"  {batching['batches']} flushes carrying "
+            f"{batching['batched_messages']} messages "
+            f"(mean {batching['mean_batch']:.2f}, "
+            f"max {batching['max_batch']} per batch)"
         )
 
     if summary["decisions"]:

@@ -4,7 +4,8 @@ The tracker consumes schema events (see :mod:`repro.obs.events`) in time
 order and maintains:
 
 * **per node** — windowed commit/abort counts (throughput and abort-rate
-  series), RPC issue/failure totals, an RPC in-flight gauge
+  series), RPC issue/failure totals, lookup-cache hit/miss counts
+  (``rpc.cache`` events), an RPC in-flight gauge
   (:class:`~repro.sim.monitor.TimeWeighted`) and an *unreachability EWMA*
   fed from RPC outcomes and crash/restart fault events.  The EWMA is the
   signal the ROADMAP's partition-aware scheduling item needs: a node
@@ -12,8 +13,9 @@ order and maintains:
 * **per object** — a queue-depth gauge (``obs.queue`` events), conflict
   counts (``dstm.conflict``) and ownership-migration counts
   (``dir.owner``): the top-contended-objects view.
-* **global** — the scheduler-decision histogram keyed ``(action, cause)``
-  and a bounded fault timeline.
+* **global** — the scheduler-decision histogram keyed ``(action, cause)``,
+  piggyback-batching totals (``rpc.batch`` events) and a bounded fault
+  timeline.
 
 State is O(nodes + objects + windows), never O(events), so the tracker
 can sit inline on the tracer's sink path for arbitrarily long runs.
@@ -37,7 +39,7 @@ class NodeSeries:
 
     __slots__ = (
         "tag", "commits", "aborts", "rpc_issued", "rpc_failed",
-        "inflight", "unreach", "windows",
+        "cache_hits", "cache_misses", "inflight", "unreach", "windows",
     )
 
     def __init__(self, tag: str, start_time: float) -> None:
@@ -46,6 +48,8 @@ class NodeSeries:
         self.aborts = 0
         self.rpc_issued = 0
         self.rpc_failed = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
         self.inflight = TimeWeighted(f"{tag}.rpc_inflight", start_time=start_time)
         #: 0 = every probe answered, 1 = every probe timed out/crashed
         self.unreach = Ewma(alpha=0.2, initial=0.0)
@@ -84,6 +88,11 @@ class SeriesTracker:
         self.objects: Dict[str, ObjectSeries] = {}
         #: (action, cause) -> count
         self.decisions: Dict[Tuple[str, str], int] = {}
+        #: piggyback batching (``rpc.batch`` events): flushes, coalesced
+        #: messages, and the largest single batch seen
+        self.batches = 0
+        self.batched_messages = 0
+        self.max_batch = 0
         self.faults: List[Tuple[float, str, str]] = []
         self.faults_dropped = 0
         self.events = 0
@@ -139,6 +148,18 @@ class SeriesTracker:
             else:
                 node.rpc_failed += 1
                 dst.unreach.observe(1.0)
+        elif cat == "rpc.cache":
+            node = self._node(event["node"], t)
+            if event["hit"]:
+                node.cache_hits += 1
+            else:
+                node.cache_misses += 1
+        elif cat == "rpc.batch":
+            size = int(event["size"])
+            self.batches += 1
+            self.batched_messages += size
+            if size > self.max_batch:
+                self.max_batch = size
         elif cat == "obs.queue":
             obj = self._object(event["sub"], t)
             depth = int(event["len"])
@@ -181,6 +202,7 @@ class SeriesTracker:
         for tag in sorted(self.nodes, key=_node_sort_key):
             n = self.nodes[tag]
             attempts = n.commits + n.aborts
+            probes = n.cache_hits + n.cache_misses
             peak = max((b[0] for b in n.windows.values()), default=0)
             rows.append(
                 {
@@ -194,6 +216,9 @@ class SeriesTracker:
                     "rpc_failed": n.rpc_failed,
                     "mean_inflight": n.inflight.average(now),
                     "unreach": n.unreach.value,
+                    "cache_hits": n.cache_hits,
+                    "cache_misses": n.cache_misses,
+                    "cache_hit_rate": n.cache_hits / probes if probes else 0.0,
                 }
             )
         return rows
@@ -221,6 +246,17 @@ class SeriesTracker:
             for (action, cause), count in sorted(self.decisions.items())
         ]
 
+    def batch_row(self) -> Dict[str, Any]:
+        """Cluster-wide piggyback-batching summary."""
+        return {
+            "batches": self.batches,
+            "batched_messages": self.batched_messages,
+            "mean_batch": (
+                self.batched_messages / self.batches if self.batches else 0.0
+            ),
+            "max_batch": self.max_batch,
+        }
+
     def snapshot(self, now: Optional[float] = None) -> Dict[str, Any]:
         """One JSON-able summary of everything tracked."""
         return {
@@ -231,6 +267,7 @@ class SeriesTracker:
             "nodes": self.node_rows(),
             "objects": self.object_rows(),
             "decisions": self.decision_rows(),
+            "batching": self.batch_row(),
             "faults": len(self.faults) + self.faults_dropped,
         }
 

@@ -1,0 +1,181 @@
+"""The directory lookup cache — version-fenced owner/location metadata.
+
+Generalises the proxy's ad-hoc ``owner_hints`` dict (which it replaces as
+a drop-in mapping) into a first-class cache shared by every layer that
+learns ownership facts: the proxy's ``Open_Object`` path, TFA validation
+replies, commit-registration acks, and the fault-recovery reclaim /
+orphan-repatriation paths.  Caching location metadata is what makes the
+lookup phase O(1) instead of one directory round trip per open — the
+locality-exploitation lever Hendler et al. identify as the key to
+distributed-TM scaling with node count.
+
+Two modes:
+
+* **hint mode** (``fencing=False``, the default) — byte-identical to the
+  old plain dict: entries appear/disappear exactly where the legacy code
+  mutated ``owner_hints``, versions are recorded but never acted on.
+  Same-seed runs are unchanged (the equivalence pin in
+  ``tests/rpc/test_equivalence.py`` holds the line).
+* **fenced mode** (``fencing=True``) — entries remember the object
+  version they were learned at; :meth:`note_version` invalidates an
+  entry the moment any protocol reply proves the registered version has
+  moved past it (an ownership migration elsewhere), so the next open
+  asks the directory instead of chasing a stale owner.  A bounded
+  ``capacity`` evicts oldest-learned entries first.
+
+Hit/miss counters are host-side only (they never influence simulated
+behaviour) and feed the ``rpc.cache`` observability series.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Optional
+
+__all__ = ["LookupCache"]
+
+_MISSING = object()
+
+
+class LookupCache:
+    """oid -> (owner, learned-at-version) with optional version fencing."""
+
+    __slots__ = (
+        "fencing", "capacity", "_owners", "_versions",
+        "hits", "misses", "fences", "evictions",
+    )
+
+    def __init__(self, fencing: bool = False, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.fencing = bool(fencing)
+        self.capacity = capacity
+        self._owners: Dict[str, int] = {}
+        self._versions: Dict[str, int] = {}
+        self.hits = 0
+        self.misses = 0
+        self.fences = 0
+        self.evictions = 0
+
+    # -- typed API ---------------------------------------------------------
+
+    def put(self, oid: str, owner: int, version: Optional[int] = None) -> None:
+        """Record that ``oid`` lives at ``owner`` (as of ``version``)."""
+        if self.capacity is not None and oid not in self._owners:
+            while len(self._owners) >= self.capacity:
+                victim = next(iter(self._owners))
+                del self._owners[victim]
+                self._versions.pop(victim, None)
+                self.evictions += 1
+        self._owners[oid] = owner
+        if version is not None:
+            self._versions[oid] = int(version)
+        else:
+            # An ownership fact with no version anchor: drop any stale
+            # version record so fencing never judges the new entry by a
+            # previous owner's learn point.
+            self._versions.pop(oid, None)
+
+    def lookup(self, oid: str) -> Optional[int]:
+        """The cached owner (counting the hit/miss), or None."""
+        owner = self._owners.get(oid)
+        if owner is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return owner
+
+    def version_of(self, oid: str) -> Optional[int]:
+        return self._versions.get(oid)
+
+    def note_version(self, oid: str, version: Optional[int],
+                     owner: Optional[int] = None) -> None:
+        """Fold a version observation from any protocol reply.
+
+        In fenced mode an entry whose recorded version is behind
+        ``version`` is stale — the registered version only advances when
+        a commit (or a recovery reclaim) moves the object's authority —
+        so it is replaced when the observation names the ``owner`` and
+        dropped otherwise.  Hint mode records nothing and never drops
+        (legacy behaviour).
+        """
+        if not self.fencing or version is None:
+            return
+        version = int(version)
+        cached_version = self._versions.get(oid)
+        if owner is not None:
+            # Authoritative observation (a lookup reply or a fenced
+            # registration ack names the real owner): take it.
+            self.put(oid, owner, version)
+            return
+        if oid not in self._owners:
+            return
+        if cached_version is not None and cached_version < version:
+            # The registry moved past what this entry was learned at:
+            # the owner it names may no longer hold the object.  Entries
+            # with no version anchor are unjudgeable and kept — a wrong
+            # one heals through the not_owner chase.
+            del self._owners[oid]
+            self._versions.pop(oid, None)
+            self.fences += 1
+
+    def invalidate(self, oid: str) -> None:
+        """Drop ``oid`` unconditionally (counted as a fence if present)."""
+        if self._owners.pop(oid, _MISSING) is not _MISSING:
+            self.fences += 1
+        self._versions.pop(oid, None)
+
+    def hit_rate(self) -> float:
+        probes = self.hits + self.misses
+        return self.hits / probes if probes else 0.0
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate(),
+            "fences": self.fences,
+            "evictions": self.evictions,
+            "entries": len(self._owners),
+        }
+
+    # -- legacy mapping protocol (drop-in for the owner_hints dict) --------
+
+    def get(self, oid: str, default: Any = None) -> Any:
+        owner = self._owners.get(oid, _MISSING)
+        return default if owner is _MISSING else owner
+
+    def pop(self, oid: str, default: Any = _MISSING) -> Any:
+        self._versions.pop(oid, None)
+        if default is _MISSING:
+            return self._owners.pop(oid)
+        return self._owners.pop(oid, default)
+
+    def setdefault(self, oid: str, owner: int,
+                   version: Optional[int] = None) -> int:
+        current = self._owners.get(oid, _MISSING)
+        if current is not _MISSING:
+            return current
+        self.put(oid, owner, version)
+        return owner
+
+    def __getitem__(self, oid: str) -> int:
+        return self._owners[oid]
+
+    def __setitem__(self, oid: str, owner: int) -> None:
+        self.put(oid, owner)
+
+    def __contains__(self, oid: str) -> bool:
+        return oid in self._owners
+
+    def __len__(self) -> int:
+        return len(self._owners)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._owners)
+
+    def __repr__(self) -> str:
+        mode = "fenced" if self.fencing else "hint"
+        return (
+            f"<LookupCache {mode} entries={len(self._owners)} "
+            f"hits={self.hits} misses={self.misses}>"
+        )

@@ -1,0 +1,134 @@
+"""The typed caller side of the RPC substrate.
+
+:class:`RpcClient` is what protocol layers hold instead of hand-rolled
+``node.request`` loops: it resolves an :class:`~repro.rpc.endpoint.Endpoint`
+by name, validates the request payload shape, delegates the deadline /
+retry machinery to :meth:`repro.net.node.Node.request` under the bound
+:class:`~repro.rpc.policy.RetryPolicy` (the stack's single retry loop),
+and owns the cross-cutting concerns every call shares: ``rpc.issue`` /
+``rpc.done`` / ``fault.rpc_retry`` tracing and the cluster metrics
+counters.  A peer silent through every attempt surfaces as
+:class:`~repro.rpc.errors.PeerUnreachable`.
+
+The client also carries the node's :class:`~repro.rpc.cache.LookupCache`
+so every layer on the node (proxy opens, TFA validation, fault-recovery
+reclaim) folds ownership observations into the *same* cache.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Optional
+
+from repro.net.message import Message
+from repro.net.node import Node, RpcError
+from repro.rpc.cache import LookupCache
+from repro.rpc.endpoint import ENDPOINTS, EndpointRegistry
+from repro.rpc.errors import EndpointError, PeerUnreachable
+from repro.rpc.policy import RetryPolicy
+from repro.sim import Tracer
+
+__all__ = ["RpcClient"]
+
+
+class RpcClient:
+    """Typed RPC calls from one node, under one policy, into one cache."""
+
+    def __init__(
+        self,
+        node: Node,
+        policy: Optional[RetryPolicy] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[Any] = None,
+        cache: Optional[LookupCache] = None,
+        registry: EndpointRegistry = ENDPOINTS,
+    ) -> None:
+        self.node = node
+        self.env = node.env
+        #: None (fault-free build): calls are plain blocking waits with no
+        #: timeout events — the legacy behaviour, byte-identical same-seed.
+        self.policy = policy
+        self.tracer = tracer or Tracer()
+        self.metrics = metrics
+        self.cache = cache if cache is not None else LookupCache()
+        self.registry = registry
+        #: host-side call counters (feed the obs report)
+        self.calls = 0
+        self.failures = 0
+
+    def call(
+        self,
+        dst: int,
+        name: str,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> Generator[Any, Any, Message]:
+        """Issue endpoint ``name`` at ``dst`` (generator; ``yield from``).
+
+        Returns the reply :class:`~repro.net.message.Message`; raises
+        :class:`PeerUnreachable` when the policy's attempts are exhausted.
+        """
+        endpoint = self.registry.get(name)
+        if not endpoint.is_rpc:
+            raise EndpointError(
+                f"endpoint {name!r} is one-way; use Node.send, not call()"
+            )
+        endpoint.check_request(payload)
+        mtype = endpoint.request
+        self.calls += 1
+        rpc_trace = self.tracer.wants("rpc.issue")
+        if rpc_trace:
+            self.tracer.emit(
+                self.env.now, "rpc.issue", mtype.value,
+                node=f"n{self.node.node_id}", dst=dst,
+            )
+        pol = self.policy
+        if pol is None:
+            reply = yield from self.node.request(dst, mtype, payload)
+            if rpc_trace:
+                self.tracer.emit(
+                    self.env.now, "rpc.done", mtype.value,
+                    node=f"n{self.node.node_id}", dst=dst, ok=True, retries=0,
+                )
+            return reply
+
+        retries_used = 0
+
+        def note_timeout(attempt: int, window: float, will_retry: bool) -> None:
+            nonlocal retries_used
+            if self.metrics is not None:
+                self.metrics.rpc_timeouts.increment()
+            if will_retry:
+                retries_used = attempt + 1
+                if self.metrics is not None:
+                    self.metrics.rpc_retries.increment()
+                if self.tracer.wants("fault.rpc_retry"):
+                    self.tracer.emit(
+                        self.env.now, "fault.rpc_retry", mtype.value,
+                        dst=dst, attempt=attempt + 1, window=window,
+                    )
+
+        try:
+            reply = yield from self.node.request(
+                dst, mtype, payload, policy=pol, on_timeout=note_timeout
+            )
+        except RpcError:
+            self.failures += 1
+            if rpc_trace:
+                self.tracer.emit(
+                    self.env.now, "rpc.done", mtype.value,
+                    node=f"n{self.node.node_id}", dst=dst, ok=False,
+                    retries=pol.max_retries,
+                )
+            raise PeerUnreachable(dst, mtype.value, pol.attempts) from None
+        if rpc_trace:
+            self.tracer.emit(
+                self.env.now, "rpc.done", mtype.value,
+                node=f"n{self.node.node_id}", dst=dst, ok=True,
+                retries=retries_used,
+            )
+        return reply
+
+    def __repr__(self) -> str:
+        return (
+            f"<RpcClient n{self.node.node_id} calls={self.calls} "
+            f"failures={self.failures} policy={self.policy}>"
+        )

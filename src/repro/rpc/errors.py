@@ -1,0 +1,25 @@
+"""Errors of the RPC substrate."""
+
+from __future__ import annotations
+
+__all__ = ["EndpointError", "PeerUnreachable"]
+
+
+class EndpointError(ValueError):
+    """A call violated an endpoint's declared request/reply shape."""
+
+
+class PeerUnreachable(RuntimeError):
+    """An RPC peer stayed silent through every timeout/retry attempt.
+
+    Protocol layers convert this into their domain failure —
+    :class:`repro.dstm.errors.OwnerUnreachable` subclasses it, so code
+    catching the dstm exception keeps working while the rpc layer stays
+    free of dstm imports.
+    """
+
+    def __init__(self, dst: int, what: str, attempts: int) -> None:
+        super().__init__(f"node {dst} unreachable: {what} failed {attempts}x")
+        self.dst = dst
+        self.what = what
+        self.attempts = attempts

@@ -29,6 +29,7 @@ from repro.sim.events import (
     Event,
     Timeout,
     PRIORITY_NORMAL,
+    _PENDING,
 )
 from repro.sim.process import Process
 
@@ -113,7 +114,7 @@ class Environment:
         self._now = when
         self.events_processed += 1
 
-        if not event.triggered:
+        if event._value is _PENDING:
             # Auto-firing event (Timeout): materialise its value now.
             event._ok = True
             event._value = getattr(event, "_fire_value", None)
@@ -124,7 +125,7 @@ class Environment:
         for callback in callbacks:
             callback(event)
 
-        if not event._ok and not getattr(event, "_defused", True):
+        if not event._ok and not event._defused:
             raise event._value
 
     def run(
@@ -138,6 +139,13 @@ class Environment:
         :class:`Event` (run until it is processed, returning its value), or
         ``None`` (run the schedule dry).  ``max_events`` bounds the number of
         processed events as a runaway guard.
+
+        The loop body is :meth:`step` inlined with the heap, pop function and
+        processed-event counter held in locals — the schedule-pop loop
+        dominates host-side runtime at large node counts, and the inlining
+        roughly halves its per-event overhead (``benchmarks/bench_kernel.py``
+        measures it).  :meth:`step` remains the reference implementation for
+        single-step callers; the two must stay semantically identical.
         """
         stop_event: Optional[Event] = None
         stop_time = float("inf")
@@ -148,19 +156,42 @@ class Environment:
             if stop_time < self._now:
                 raise ValueError(f"until={stop_time} is in the past (now={self._now})")
 
+        heap = self._heap
+        heappop = heapq.heappop
         processed_at_start = self.events_processed
-        while self._heap:
-            if stop_event is not None and stop_event.processed:
-                break
-            if self.peek() > stop_time:
-                self._now = stop_time
-                break
-            if (
-                max_events is not None
-                and self.events_processed - processed_at_start >= max_events
-            ):
-                raise SimulationError(f"exceeded max_events={max_events}")
-            self.step()
+        processed = self.events_processed
+        try:
+            while heap:
+                if stop_event is not None and stop_event._processed:
+                    break
+                if heap[0][0] > stop_time:
+                    self._now = stop_time
+                    break
+                if (
+                    max_events is not None
+                    and processed - processed_at_start >= max_events
+                ):
+                    raise SimulationError(f"exceeded max_events={max_events}")
+
+                when, _prio, _seq, event = heappop(heap)
+                self._now = when
+                processed += 1
+
+                if event._value is _PENDING:
+                    # Auto-firing event (Timeout): materialise its value now.
+                    event._ok = True
+                    event._value = event._fire_value
+
+                callbacks = event.callbacks
+                event.callbacks = None
+                event._processed = True
+                for callback in callbacks:
+                    callback(event)
+
+                if not event._ok and not event._defused:
+                    raise event._value
+        finally:
+            self.events_processed = processed
 
         if stop_event is not None:
             if not stop_event.triggered:

@@ -60,6 +60,10 @@ class Event:
         self._ok: bool = True
         self._processed = False
         self._scheduled = False
+        # True unless a failure is in flight that nobody has consumed yet;
+        # initialised here so the event loop can read the slot directly
+        # (the schedule-pop loop is the simulation's hottest path).
+        self._defused = True
 
     # -- state inspection -------------------------------------------------
 

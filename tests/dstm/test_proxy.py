@@ -78,6 +78,53 @@ class TestOpenObject:
         assert grant.value == 5
 
 
+class TestHandoffForwarding:
+    """Algorithm 4's else-branch: an object arriving for a transaction
+    that no longer wants it must keep moving down the requester list."""
+
+    def test_orphaned_transfer_forwards_to_next_queued_requester(self):
+        from repro.dstm.transaction import ETS
+        from repro.net import MessageType
+        from repro.scheduler.queues import Requester
+
+        cluster = make_cluster()
+        env = cluster.env
+        oid = "hot"
+        # The hand-off targets node 1's txid "t-dead", which aborted (no
+        # waiter registered); the shipped queue names t2@node2 (acquire)
+        # then t3@node3 (acquire).
+        queue = [
+            Requester(node=2, txid="t2", mode=ObjectMode.ACQUIRE,
+                      ets=ETS(0.0, 0.0, 1.0), enqueued_at=0.0),
+            Requester(node=3, txid="t3", mode=ObjectMode.ACQUIRE,
+                      ets=ETS(0.0, 0.1, 1.0), enqueued_at=0.0),
+        ]
+        # t2 is genuinely waiting at node 2.
+        waiter = env.event()
+        cluster.proxies[2]._waiters[("t2", oid)] = waiter
+
+        cluster.nodes[0].send(1, MessageType.OBJECT_HANDOFF, {
+            "oid": oid, "txid": "t-dead", "mode": "a",
+            "granted": True, "transferred": True,
+            "value": 99, "version": 4,
+            "queue": queue, "bk": 0.25,
+            "local_cl": 2, "served_by": 0,
+        })
+        cluster.run(until=1.0)
+
+        # Node 1 absorbed and immediately released: it must not keep it.
+        assert not cluster.proxies[1].owns(oid)
+        # t2 got the object, mid-commit, with the rest of the list intact.
+        obj = cluster.proxies[2].store[oid]
+        assert (obj.value, obj.version) == (99, 4)
+        assert obj.state is ObjectState.VALIDATING and obj.holder == "t2"
+        assert waiter.triggered
+        granted = waiter.value
+        assert granted["granted"] and not granted["transferred"]
+        remaining = cluster.proxies[2].queues[oid].snapshot()
+        assert [(r.node, r.txid) for r in remaining] == [(3, "t3")]
+
+
 class TestConflictsAndQueues:
     def _validating_setup(self):
         """Owner node 0 holds x VALIDATING for a fake committing task."""

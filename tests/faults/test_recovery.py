@@ -271,6 +271,19 @@ class TestLeases:
         assert p["owner"] == 0
         assert p["version"] == 5  # max(4, 3) + 1
 
+    def test_direct_reads_reclaim_lazily(self, env, dirnet):
+        """Regression: ``owner_of``/``lookup`` (the in-process hint paths
+        used by the proxy and the recovery sweep) must enforce lapsed
+        leases exactly like a DIR_LOOKUP message — a stale hint here sent
+        requesters chasing a dead owner until some RPC happened to fire
+        the reclaim."""
+        nodes, shard = dirnet
+        shard.register("d", owner=1, version=2, value="snap", value_version=2)
+        advance(env, 3.0)  # lease (1.0) + grace (0.5) long lapsed
+        assert shard.owner_of("d") == 0, "owner_of reclaims on read"
+        assert shard.lookup("d") == (0, 3), "reclaim fences with a bump"
+        assert shard.snapshot_of("d") == (3, "snap")
+
     def test_unexpired_lease_untouched(self, env, dirnet):
         nodes, shard = dirnet
         shard.register("u", owner=1, version=1, value="v", value_version=1)

@@ -1,0 +1,123 @@
+"""The version-fenced lookup cache, in both of its modes."""
+
+import pytest
+
+from repro.rpc import LookupCache
+
+
+class TestHintMode:
+    """fencing=False must behave exactly like the old owner_hints dict."""
+
+    def test_mapping_protocol(self):
+        cache = LookupCache()
+        cache["a"] = 3
+        assert cache["a"] == 3
+        assert "a" in cache and "b" not in cache
+        assert cache.get("b", 7) == 7
+        assert cache.setdefault("a", 9) == 3
+        assert cache.setdefault("b", 9) == 9
+        assert len(cache) == 2 and set(cache) == {"a", "b"}
+        assert cache.pop("a") == 3
+        assert cache.pop("a", None) is None
+        with pytest.raises(KeyError):
+            cache.pop("a")
+
+    def test_note_version_is_inert(self):
+        cache = LookupCache(fencing=False)
+        cache.put("x", 1, version=1)
+        cache.note_version("x", 99)
+        assert cache.get("x") == 1
+        assert cache.fences == 0
+
+    def test_lookup_counts_probes(self):
+        cache = LookupCache()
+        assert cache.lookup("x") is None
+        cache.put("x", 2)
+        assert cache.lookup("x") == 2
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate() == pytest.approx(0.5)
+
+
+class TestFencedMode:
+    def test_stale_entry_is_fenced_out(self):
+        cache = LookupCache(fencing=True)
+        cache.put("x", 1, version=3)
+        cache.note_version("x", 3)      # same version: still trustworthy
+        assert cache.get("x") == 1
+        cache.note_version("x", 4)      # registry moved past the learn point
+        assert cache.get("x") is None
+        assert cache.fences == 1
+
+    def test_authoritative_observation_replaces(self):
+        cache = LookupCache(fencing=True)
+        cache.put("x", 1, version=3)
+        cache.note_version("x", 5, owner=2)
+        assert cache.get("x") == 2
+        assert cache.version_of("x") == 5
+        assert cache.fences == 0
+
+    def test_unversioned_entries_are_kept(self):
+        # No learn-point anchor means the entry cannot be judged stale;
+        # a wrong hint heals through the not_owner chase instead.
+        cache = LookupCache(fencing=True)
+        cache["x"] = 1
+        cache.note_version("x", 10)
+        assert cache.get("x") == 1
+        assert cache.fences == 0
+
+    def test_put_without_version_drops_old_anchor(self):
+        cache = LookupCache(fencing=True)
+        cache.put("x", 1, version=3)
+        cache.put("x", 2)               # new fact, no anchor
+        assert cache.version_of("x") is None
+        cache.note_version("x", 99)     # must not judge by the stale anchor
+        assert cache.get("x") == 2
+
+    def test_note_version_on_absent_oid_is_noop(self):
+        cache = LookupCache(fencing=True)
+        cache.note_version("ghost", 4)
+        assert cache.fences == 0 and len(cache) == 0
+
+    def test_invalidate(self):
+        cache = LookupCache(fencing=True)
+        cache.put("x", 1, version=2)
+        cache.invalidate("x")
+        assert "x" not in cache and cache.version_of("x") is None
+        assert cache.fences == 1
+        cache.invalidate("x")           # absent: not double-counted
+        assert cache.fences == 1
+
+
+class TestCapacity:
+    def test_oldest_learned_evicted_first(self):
+        cache = LookupCache(fencing=True, capacity=2)
+        cache.put("a", 1, version=1)
+        cache.put("b", 2, version=1)
+        cache.put("c", 3, version=1)
+        assert "a" not in cache
+        assert cache.get("b") == 2 and cache.get("c") == 3
+        assert cache.evictions == 1
+
+    def test_update_does_not_evict(self):
+        cache = LookupCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 5)               # refresh, not insert
+        assert cache.evictions == 0 and cache.get("b") == 2
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            LookupCache(capacity=0)
+
+
+def test_stats_shape():
+    cache = LookupCache(fencing=True)
+    cache.put("x", 1, version=1)
+    cache.lookup("x")
+    cache.lookup("y")
+    cache.note_version("x", 2)
+    stats = cache.stats()
+    assert stats == {
+        "hits": 1, "misses": 1, "hit_rate": 0.5,
+        "fences": 1, "evictions": 0, "entries": 0,
+    }

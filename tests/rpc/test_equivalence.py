@@ -1,0 +1,54 @@
+"""Same-seed equivalence: the RPC substrate defaults are byte-identical
+to the pre-substrate build.
+
+The refactor moved every protocol message onto repro.rpc.  With the
+default RpcConfig (batch_window=0, cache off) no batcher exists and the
+lookup cache is a drop-in hint dict, so the kernel must execute the
+exact same event sequence as before the refactor.  These pins were
+recorded from the pre-refactor tree (commit ecd0040) and re-verified
+after it: commits, root aborts, AND the total kernel event count — the
+strongest cheap proxy for "the same simulation happened".
+
+If a change legitimately alters the schedule (a new message, a protocol
+fix), re-record the pins in the same commit and say why in its message.
+"""
+
+import pytest
+
+from repro.core import ClusterConfig, SchedulerKind
+from repro.core.config import RpcConfig
+from repro.core.experiment import run_experiment
+
+# (workload, num_nodes, seed) -> (commits, root_aborts, sim_events)
+PINS = {
+    ("bank", 12, 1): (256, 129, 63198),
+    ("dht", 6, 3): (515, 23, 23149),
+}
+
+
+def run_cell(workload, num_nodes, seed, rpc=None):
+    kwargs = {} if rpc is None else {"rpc": rpc}
+    cfg = ClusterConfig(
+        num_nodes=num_nodes, seed=seed,
+        scheduler=SchedulerKind.RTS, cl_threshold=4, **kwargs,
+    )
+    return run_experiment(workload, cfg, read_fraction=0.9,
+                          workers_per_node=2, horizon=8.0)
+
+
+@pytest.mark.parametrize("cell", sorted(PINS), ids=lambda c: f"{c[0]}-n{c[1]}")
+def test_default_config_matches_pre_substrate_pin(cell):
+    result = run_cell(*cell)
+    assert (result.commits, result.root_aborts, result.sim_events) == PINS[cell]
+
+
+def test_explicit_zero_config_is_the_default():
+    """batch_window=0.0 + cache=False spelled out must equal the default
+    path bit-for-bit — the knobs are strictly additive."""
+    cell = ("dht", 6, 3)
+    explicit = run_cell(*cell, rpc=RpcConfig(batch_window=0.0, cache=False))
+    assert (explicit.commits, explicit.root_aborts,
+            explicit.sim_events) == PINS[cell]
+    assert explicit.messages_sent > 0
+    assert "rpc_batches" not in explicit.extra
+    assert "rpc_cache_hits" not in explicit.extra

@@ -1,0 +1,92 @@
+"""The retry/deadline policy — and that it is the ONLY one in the tree."""
+
+import pytest
+
+from repro.core.config import FaultConfig
+from repro.rpc import RetryPolicy
+
+
+class TestRetryPolicy:
+    def test_attempts_and_ladder(self):
+        pol = RetryPolicy(timeout=0.2, max_retries=2, backoff_factor=2.0,
+                          backoff_cap=1.0)
+        assert pol.attempts == 3
+        assert [pol.nth_timeout(i) for i in range(3)] == pytest.approx(
+            [0.2, 0.4, 0.8]
+        )
+        assert pol.worst_case_wait() == pytest.approx(1.4)
+
+    def test_cap_flattens_the_ladder(self):
+        pol = RetryPolicy(timeout=0.5, max_retries=5, backoff_factor=3.0,
+                          backoff_cap=0.9)
+        assert pol.nth_timeout(0) == pytest.approx(0.5)
+        for i in range(1, 6):
+            assert pol.nth_timeout(i) == pytest.approx(0.9)
+
+    def test_from_config(self):
+        fc = FaultConfig(rpc_timeout=0.4, rpc_max_retries=1,
+                         rpc_backoff_factor=2.5, rpc_backoff_cap=2.0)
+        pol = RetryPolicy.from_config(fc)
+        assert (pol.timeout, pol.max_retries) == (0.4, 1)
+        assert pol.nth_timeout(1) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout=1.0, backoff_cap=0.5)
+
+
+class TestSinglePolicyObject:
+    """The refactor's no-duplication guarantee: faults and net both
+    delegate to the one policy class in repro.rpc."""
+
+    def test_faults_rpcpolicy_is_the_rpc_retrypolicy(self):
+        from repro.faults import RpcPolicy
+        from repro.faults import recovery
+
+        assert RpcPolicy is RetryPolicy
+        assert recovery.RpcPolicy is RetryPolicy
+        assert recovery.__all__ == ["RpcPolicy"]
+
+    def test_node_request_honours_policy_ladder(self, env):
+        """Node.request owns the retry loop: a silent peer costs exactly
+        the policy's worst-case wait, with on_timeout called per attempt."""
+        from repro.net import Network, Node, Topology
+        from repro.net.node import RpcError
+        from repro.net.message import MessageType
+        from repro.net.topology import TopologyKind
+        from repro.sim import RngRegistry
+
+        rngs = RngRegistry(seed=11)
+        topo = Topology(2, rngs.stream("topology"), kind=TopologyKind.UNIFORM)
+        network = Network(env, topo)
+        nodes = [Node(env, network, i) for i in range(2)]
+        # Node 1 swallows pings without answering: every attempt times out.
+        nodes[1].on(MessageType.PING, lambda msg: None)
+
+        pol = RetryPolicy(timeout=0.1, max_retries=2, backoff_factor=2.0,
+                          backoff_cap=0.4)
+        seen = []
+        outcome = {}
+
+        def proc():
+            try:
+                yield from nodes[0].request(
+                    1, MessageType.PING, {},
+                    policy=pol,
+                    on_timeout=lambda a, w, r: seen.append((a, w, r)),
+                )
+            except RpcError:
+                outcome["at"] = env.now
+
+        env.process(proc())
+        env.run()
+        assert outcome["at"] == pytest.approx(pol.worst_case_wait())
+        assert seen == [
+            (0, pytest.approx(0.1), True),
+            (1, pytest.approx(0.2), True),
+            (2, pytest.approx(0.4), False),
+        ]
