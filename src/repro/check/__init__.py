@@ -1,0 +1,27 @@
+"""repro.check — correctness tooling for the reproduction.
+
+Three layers, one rule namespace (:mod:`repro.check.rules`):
+
+* :mod:`repro.check.lint` — the determinism linter
+  (``python -m repro.check.lint src/``);
+* :mod:`repro.check.sanitize` — the runtime invariant sanitizer
+  (``CheckConfig(sanitize=True)`` / ``REPRO_SANITIZE=1``);
+* :mod:`repro.check.races` — the trace-replay race detector
+  (``python -m repro.check.races run.jsonl``).
+
+See DESIGN.md §3e for the full rule table.
+"""
+
+from repro.check.rules import INVARIANT_RULES, LINT_RULES, RACE_RULES, RULES, Rule, rule
+from repro.check.sanitize import InvariantViolation, Sanitizer
+
+__all__ = [
+    "Rule",
+    "rule",
+    "RULES",
+    "LINT_RULES",
+    "INVARIANT_RULES",
+    "RACE_RULES",
+    "InvariantViolation",
+    "Sanitizer",
+]

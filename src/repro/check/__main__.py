@@ -1,0 +1,27 @@
+"""``python -m repro.check`` — point at the two CLIs."""
+
+import sys
+
+USAGE = """\
+repro.check has two command-line entry points:
+
+  python -m repro.check.lint [paths...]     determinism linter
+  python -m repro.check.races RUN.JSONL     trace-replay race detector
+
+Rule reference: DESIGN.md §3e, or `python -m repro.check --rules`.
+"""
+
+
+def main() -> int:
+    if "--rules" in sys.argv[1:]:
+        from repro.check.rules import RULES
+
+        for rule_id in sorted(RULES):
+            print(f"{rule_id:36} {RULES[rule_id].summary}")
+        return 0
+    print(USAGE, end="")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

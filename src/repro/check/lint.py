@@ -1,0 +1,557 @@
+"""The determinism linter — ``python -m repro.check.lint [paths...]``.
+
+An AST pass over the source tree that flags the constructs that silently
+break seeded bit-reproducibility (the property every equivalence pin and
+byte-identical obs export in this repo rests on):
+
+* ``det-wall-clock``      — ``time.time()`` / ``datetime.now()`` and
+  friends: host wall time leaking into simulation state;
+* ``det-unseeded-rng``    — module-level ``random`` / ``numpy.random``
+  calls that bypass :class:`repro.sim.rng.RngRegistry`'s seeded streams;
+* ``det-unordered-iter``  — ``for``-loops and comprehensions iterating a
+  ``set`` / ``frozenset`` / ``os.listdir``-style source whose order the
+  interpreter does not define;
+* ``det-id-order``        — ``id()`` / ``hash()`` calls (CPython object
+  addresses and salted string hashes differ across processes);
+* ``det-mutable-default`` — mutable default arguments.
+
+Suppression syntax (same line as the construct)::
+
+    started = time.time()  # check: allow[det-wall-clock] -- host-side wall timing only
+
+Every suppression must carry a rule id *and* a ``--`` justification; a
+bare or stale (matching no finding) suppression is itself a finding
+(``det-bare-allow``).  The total number of suppressions is bounded by the
+committed budget in ``pyproject.toml``::
+
+    [tool.repro-check]
+    allow_budget = 8
+
+so the allowlist can only grow through a reviewed diff.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import io
+import json
+import re
+import sys
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.check.rules import LINT_RULES
+
+__all__ = [
+    "Finding",
+    "Suppression",
+    "lint_paths",
+    "lint_source",
+    "load_budget",
+    "main",
+]
+
+DEFAULT_BUDGET = 10
+
+_WALL_TIME_ATTRS = frozenset(
+    {"time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+     "perf_counter_ns", "process_time", "process_time_ns"}
+)
+_WALL_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+#: numpy.random names that are the *seeded* API, not the global RNG
+_NP_SEEDED = frozenset(
+    {"default_rng", "Generator", "SeedSequence", "PCG64", "PCG64DXSM",
+     "Philox", "MT19937", "SFC64", "BitGenerator", "RandomState"}
+)
+_RNG_FUNCS = frozenset(
+    {"random", "randint", "randrange", "choice", "choices", "shuffle",
+     "sample", "uniform", "triangular", "gauss", "normalvariate",
+     "lognormvariate", "expovariate", "betavariate", "gammavariate",
+     "paretovariate", "weibullvariate", "vonmisesvariate", "seed",
+     "getrandbits", "randbytes"}
+)
+_FS_ORDER_ATTRS = frozenset({"listdir", "scandir", "iterdir", "glob", "rglob"})
+_SET_ANNOTATIONS = frozenset({"set", "Set", "frozenset", "FrozenSet", "MutableSet", "AbstractSet"})
+_SET_OPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+_ALLOW_RE = re.compile(
+    r"#\s*check:\s*allow\[([a-zA-Z0-9_,\s-]*)\]\s*(?:--\s*(\S.*))?"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint hit."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+
+@dataclass
+class Suppression:
+    """One parsed ``# check: allow[rule]`` annotation."""
+
+    path: str
+    line: int
+    rules: Tuple[str, ...]
+    justification: str
+    used: Set[str] = field(default_factory=set)
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class _Scope:
+    """One lexical scope's set-typed local names."""
+
+    __slots__ = ("set_names",)
+
+    def __init__(self) -> None:
+        self.set_names: Set[str] = set()
+
+
+class _Linter(ast.NodeVisitor):
+    """Collects findings for one module."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.findings: List[Finding] = []
+        # import aliases
+        self._time_mods: Set[str] = set()
+        self._datetime_mods: Set[str] = set()
+        self._datetime_classes: Set[str] = set()
+        self._random_mods: Set[str] = set()
+        self._numpy_mods: Set[str] = set()
+        self._wall_names: Set[str] = set()  # from time import perf_counter
+        self._rng_names: Set[str] = set()  # from random import randint
+        self._scopes: List[_Scope] = [_Scope()]
+        # set-typed `self.<attr>` annotations, per enclosing class
+        self._class_set_attrs: List[Set[str]] = []
+
+    # -- helpers -----------------------------------------------------------
+
+    def _add(self, node: ast.AST, rule: str, message: str) -> None:
+        self.findings.append(
+            Finding(self.path, getattr(node, "lineno", 0),
+                    getattr(node, "col_offset", 0), rule, message)
+        )
+
+    def _scope(self) -> _Scope:
+        return self._scopes[-1]
+
+    def _is_set_annotation(self, annotation: ast.AST) -> bool:
+        if isinstance(annotation, ast.Subscript):
+            annotation = annotation.value
+        name = _dotted(annotation)
+        if name is None:
+            return False
+        return name.split(".")[-1] in _SET_ANNOTATIONS
+
+    def _is_unordered(self, node: ast.AST) -> bool:
+        """Does this expression produce an iteration-order-undefined value?"""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+                return True
+            if isinstance(func, ast.Attribute) and func.attr in _FS_ORDER_ATTRS:
+                return True
+            return False
+        if isinstance(node, ast.Name):
+            return any(node.id in s.set_names for s in reversed(self._scopes))
+        if isinstance(node, ast.Attribute):
+            if (
+                isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+                and self._class_set_attrs
+                and node.attr in self._class_set_attrs[-1]
+            ):
+                return True
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_OPS):
+            return self._is_unordered(node.left) or self._is_unordered(node.right)
+        if isinstance(node, ast.IfExp):
+            return self._is_unordered(node.body) or self._is_unordered(node.orelse)
+        return False
+
+    def _check_iteration(self, iter_node: ast.AST) -> None:
+        if self._is_unordered(iter_node):
+            src = _dotted(iter_node) or type(iter_node).__name__
+            self._add(
+                iter_node, "det-unordered-iter",
+                f"iteration over unordered source ({src}); wrap in sorted() "
+                "or use an order-preserving container",
+            )
+
+    # -- imports -----------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            if alias.name == "time":
+                self._time_mods.add(bound)
+            elif alias.name == "datetime":
+                self._datetime_mods.add(bound)
+            elif alias.name == "random":
+                self._random_mods.add(bound)
+            elif alias.name in ("numpy", "numpy.random"):
+                self._numpy_mods.add(bound)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name
+            if node.module == "time" and alias.name in _WALL_TIME_ATTRS:
+                self._wall_names.add(bound)
+            elif node.module == "datetime" and alias.name in ("datetime", "date"):
+                self._datetime_classes.add(bound)
+            elif node.module == "random" and alias.name in _RNG_FUNCS:
+                self._rng_names.add(bound)
+            elif node.module == "numpy" and alias.name == "random":
+                self._numpy_mods.add(bound)
+        self.generic_visit(node)
+
+    # -- calls -------------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id in self._wall_names:
+                self._add(node, "det-wall-clock",
+                          f"call to wall-clock function {func.id}()")
+            elif func.id in self._rng_names:
+                self._add(node, "det-unseeded-rng",
+                          f"module-level RNG call {func.id}(); draw from a "
+                          "seeded RngRegistry stream instead")
+            elif func.id in ("id", "hash"):
+                self._add(node, "det-id-order",
+                          f"{func.id}() is process-specific; never let it "
+                          "order or key deterministic state")
+        elif isinstance(func, ast.Attribute):
+            base = func.value
+            if isinstance(base, ast.Name):
+                if base.id in self._time_mods and func.attr in _WALL_TIME_ATTRS:
+                    self._add(node, "det-wall-clock",
+                              f"call to {base.id}.{func.attr}()")
+                elif base.id in self._datetime_classes and func.attr in _WALL_DATETIME_ATTRS:
+                    self._add(node, "det-wall-clock",
+                              f"call to {base.id}.{func.attr}()")
+                elif base.id in self._random_mods and func.attr in _RNG_FUNCS:
+                    self._add(node, "det-unseeded-rng",
+                              f"module-level RNG call {base.id}.{func.attr}(); "
+                              "draw from a seeded RngRegistry stream instead")
+                elif base.id in self._numpy_mods and func.attr != "default_rng":
+                    # `np.random.<fn>` arrives here only via the nested
+                    # Attribute arm below; this arm catches a bound
+                    # `from numpy import random as npr; npr.shuffle(...)`.
+                    pass
+            if isinstance(base, ast.Attribute) and isinstance(base.value, ast.Name):
+                if (
+                    base.value.id in self._datetime_mods
+                    and base.attr in ("datetime", "date")
+                    and func.attr in _WALL_DATETIME_ATTRS
+                ):
+                    self._add(node, "det-wall-clock",
+                              f"call to {base.value.id}.{base.attr}.{func.attr}()")
+                elif (
+                    base.value.id in self._numpy_mods
+                    and base.attr == "random"
+                    # The seeded API (default_rng, SeedSequence, Generator,
+                    # ...) is fine *when given entropy*; bare calls seed
+                    # from the OS.
+                    and not (func.attr in _NP_SEEDED and (node.args or node.keywords))
+                ):
+                    self._add(node, "det-unseeded-rng",
+                              f"numpy global RNG call {_dotted(func)}(); use a "
+                              "seeded Generator instead")
+        self.generic_visit(node)
+
+    # -- iteration contexts -------------------------------------------------
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comp(self, node: ast.AST) -> None:
+        for comp in getattr(node, "generators", ()):
+            self._check_iteration(comp.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comp
+    visit_SetComp = _visit_comp
+    visit_DictComp = _visit_comp
+    visit_GeneratorExp = _visit_comp
+
+    # -- assignments (set-typed name tracking) ------------------------------
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        unordered = self._is_unordered(node.value)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                if unordered:
+                    self._scope().set_names.add(target.id)
+                else:
+                    self._scope().set_names.discard(target.id)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        is_set = self._is_set_annotation(node.annotation) or (
+            node.value is not None and self._is_unordered(node.value)
+        )
+        target = node.target
+        if isinstance(target, ast.Name):
+            if is_set:
+                self._scope().set_names.add(target.id)
+            else:
+                self._scope().set_names.discard(target.id)
+        elif (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+            and self._class_set_attrs
+            and is_set
+        ):
+            self._class_set_attrs[-1].add(target.attr)
+        self.generic_visit(node)
+
+    # -- function/class scaffolding ----------------------------------------
+
+    def _check_defaults(self, node) -> None:
+        args = node.args
+        for default in list(args.defaults) + [d for d in args.kw_defaults if d]:
+            if isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in ("list", "dict", "set")
+            ):
+                self._add(default, "det-mutable-default",
+                          "mutable default argument; use None (or a "
+                          "dataclass field(default_factory=...))")
+
+    def _visit_function(self, node) -> None:
+        self._check_defaults(node)
+        self._scopes.append(_Scope())
+        for arg in list(node.args.args) + list(node.args.kwonlyargs):
+            if arg.annotation is not None and self._is_set_annotation(arg.annotation):
+                self._scope().set_names.add(arg.arg)
+        self.generic_visit(node)
+        self._scopes.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._scopes.append(_Scope())
+        self.generic_visit(node)
+        self._scopes.pop()
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_set_attrs.append(set())
+        self.generic_visit(node)
+        self._class_set_attrs.pop()
+
+
+# ---------------------------------------------------------------------------
+# suppression handling
+# ---------------------------------------------------------------------------
+
+
+def _comment_lines(source: str) -> List[Tuple[int, str]]:
+    """(lineno, text) for every real comment token.
+
+    Tokenizing (rather than regex-scanning raw lines) means suppression
+    syntax shown inside docstrings or string literals is never parsed as
+    a live suppression.
+    """
+    try:
+        return [
+            (tok.start[0], tok.string)
+            for tok in tokenize.generate_tokens(io.StringIO(source).readline)
+            if tok.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Unparseable source is reported by the AST pass; no suppressions.
+        return []
+
+
+def _parse_suppressions(path: str, source: str) -> Tuple[List[Suppression], List[Finding]]:
+    """All ``# check: allow[...]`` annotations plus malformed-allow findings."""
+    suppressions: List[Suppression] = []
+    bad: List[Finding] = []
+    for lineno, line in _comment_lines(source):
+        m = _ALLOW_RE.search(line)
+        if m is None:
+            continue
+        rules = tuple(r.strip() for r in m.group(1).split(",") if r.strip())
+        justification = (m.group(2) or "").strip()
+        if not rules:
+            bad.append(Finding(path, lineno, m.start(), "det-bare-allow",
+                               "suppression names no rule id"))
+            continue
+        unknown = [r for r in rules if r not in LINT_RULES]
+        if unknown:
+            bad.append(Finding(path, lineno, m.start(), "det-bare-allow",
+                               f"suppression names unknown rule(s) {unknown}"))
+            continue
+        if not justification:
+            bad.append(Finding(path, lineno, m.start(), "det-bare-allow",
+                               "suppression carries no `-- justification`"))
+            continue
+        suppressions.append(Suppression(path, lineno, rules, justification))
+    return suppressions, bad
+
+
+def lint_source(path: str, source: str) -> Tuple[List[Finding], List[Suppression]]:
+    """Lint one module's source; returns (unsuppressed findings, suppressions)."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return (
+            [Finding(path, exc.lineno or 0, exc.offset or 0, "det-bare-allow",
+                     f"file does not parse: {exc.msg}")],
+            [],
+        )
+    linter = _Linter(path)
+    linter.visit(tree)
+    suppressions, findings = _parse_suppressions(path, source)
+    by_line: Dict[Tuple[int, str], Suppression] = {}
+    for sup in suppressions:
+        for rule_id in sup.rules:
+            by_line[(sup.line, rule_id)] = sup
+    for finding in linter.findings:
+        sup = by_line.get((finding.line, finding.rule))
+        if sup is not None:
+            sup.used.add(finding.rule)
+            continue
+        findings.append(finding)
+    for sup in suppressions:
+        stale = [r for r in sup.rules if r not in sup.used]
+        if stale:
+            findings.append(
+                Finding(path, sup.line, 0, "det-bare-allow",
+                        f"stale suppression: {stale} match no finding on "
+                        "this line — delete it")
+            )
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return findings, suppressions
+
+
+def _iter_py_files(paths: Sequence[str]) -> Iterable[Path]:
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            yield from sorted(p.rglob("*.py"))
+        elif p.suffix == ".py":
+            yield p
+
+
+def lint_paths(paths: Sequence[str]) -> Tuple[List[Finding], List[Suppression]]:
+    """Lint every ``*.py`` under ``paths`` (files or directory trees)."""
+    findings: List[Finding] = []
+    suppressions: List[Suppression] = []
+    for path in _iter_py_files(paths):
+        file_findings, file_sups = lint_source(
+            str(path), path.read_text(encoding="utf-8")
+        )
+        findings.extend(file_findings)
+        suppressions.extend(file_sups)
+    return findings, suppressions
+
+
+def load_budget(pyproject: Optional[str] = None) -> int:
+    """The committed suppression budget (``[tool.repro-check] allow_budget``)."""
+    candidates = [Path(pyproject)] if pyproject else [
+        Path("pyproject.toml"),
+        Path(__file__).resolve().parents[3] / "pyproject.toml",
+    ]
+    for candidate in candidates:
+        if not candidate.is_file():
+            continue
+        text = candidate.read_text(encoding="utf-8")
+        try:
+            import tomllib
+
+            data = tomllib.loads(text)
+            budget = data.get("tool", {}).get("repro-check", {}).get("allow_budget")
+        except ModuleNotFoundError:  # Python 3.10: no tomllib
+            m = re.search(r"^allow_budget\s*=\s*(\d+)", text, re.MULTILINE)
+            budget = int(m.group(1)) if m else None
+        if budget is not None:
+            return int(budget)
+    return DEFAULT_BUDGET
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.check.lint", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable output")
+    parser.add_argument("--budget", type=int, default=None,
+                        help="override the pyproject suppression budget")
+    parser.add_argument("--pyproject", default=None,
+                        help="pyproject.toml to read the budget from")
+    args = parser.parse_args(argv)
+
+    findings, suppressions = lint_paths(args.paths or ["src"])
+    budget = args.budget if args.budget is not None else load_budget(args.pyproject)
+    over_budget = len(suppressions) > budget
+
+    if args.json:
+        print(json.dumps(
+            {
+                "findings": [f.__dict__ for f in findings],
+                "suppressions": [
+                    {"path": s.path, "line": s.line, "rules": list(s.rules),
+                     "justification": s.justification}
+                    for s in suppressions
+                ],
+                "budget": budget,
+                "ok": not findings and not over_budget,
+            },
+            indent=2,
+        ))
+    else:
+        for finding in findings:
+            print(finding.render())
+        print(
+            f"repro.check.lint: {len(findings)} finding(s), "
+            f"{len(suppressions)} suppression(s) used (budget {budget})"
+        )
+        if over_budget:
+            print(
+                "suppression budget exceeded — fix findings or raise "
+                "[tool.repro-check] allow_budget in a reviewed diff"
+            )
+    return 1 if findings or over_budget else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,275 @@
+"""The runtime invariant sanitizer — ``CheckConfig.sanitize=True``.
+
+A cluster-scoped observer the protocol layers call at every ownership
+transition: directory registration/withdraw, lease reclaim, orphan
+repatriation, object grant/install, commit finalisation, and lookup-cache
+mutation.  Each hook re-checks one of the paper's safety properties
+(``inv-*`` in :mod:`repro.check.rules`) against live state and raises a
+structured :class:`InvariantViolation` the moment a transition breaks it —
+so a protocol bug surfaces at the transition that caused it, not as a
+serializability failure thousands of events later.
+
+The integration contract (same zero-cost pattern as obs tracing):
+
+* every hook site is guarded by ``if self.sanitizer is not None:`` — with
+  sanitize off nothing is constructed and the hot path pays one attribute
+  read;
+* the sanitizer is **read-only**: it never mutates sim state, draws
+  randomness, or sends messages, so a sanitized run commits/aborts the
+  exact same timeline as an unsanitized one (the equivalence pin in
+  ``tests/check/test_sanitizer.py`` holds this).
+
+Enable per-run via ``ClusterConfig(check=CheckConfig(sanitize=True))`` or
+suite-wide via ``REPRO_SANITIZE=1`` (how CI runs the full pytest suite a
+second time).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
+
+from repro.check.rules import INVARIANT_RULES
+from repro.dstm.objects import ObjectState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.dstm.proxy import TMProxy
+    from repro.rpc.cache import LookupCache
+    from repro.rpc.policy import RetryPolicy
+
+__all__ = ["InvariantViolation", "Sanitizer"]
+
+
+class InvariantViolation(AssertionError):
+    """A protocol safety property failed at a specific transition.
+
+    Subclasses :class:`AssertionError` so test harnesses treat it as a
+    hard failure, but carries structured context: the rule id (see
+    :data:`repro.check.rules.INVARIANT_RULES`), the subject (usually an
+    oid or txid), the node that tripped the check, the simulated time,
+    and the transition's key/value details.
+    """
+
+    def __init__(
+        self,
+        rule_id: str,
+        subject: str,
+        node: Optional[int] = None,
+        time: Optional[float] = None,
+        **context: Any,
+    ) -> None:
+        self.rule_id = rule_id
+        self.subject = subject
+        self.node = node
+        self.time = time
+        self.context: Dict[str, Any] = context
+        rule = INVARIANT_RULES[rule_id]
+        where = "" if node is None else f" at n{node}"
+        when = "" if time is None else f" t={time:.6f}"
+        detail = ", ".join(f"{k}={v!r}" for k, v in sorted(context.items()))
+        super().__init__(
+            f"[{rule_id}] {rule.summary} — violated by {subject}{where}{when}"
+            + (f" ({detail})" if detail else "")
+        )
+
+
+class Sanitizer:
+    """Live safety checks over one cluster's protocol state.
+
+    One instance per cluster, shared by every node's directory shard,
+    proxy, TFA engine, and lookup cache.  All methods are O(small) per
+    transition except :meth:`check_single_writable_copy`, which scans the
+    per-node stores for one oid (O(nodes)).
+    """
+
+    def __init__(self) -> None:
+        #: node_id -> TMProxy, for cluster-wide copy scans
+        self.proxies: Dict[int, "TMProxy"] = {}
+        #: (home node_id, oid) -> highest version ever registered there
+        self._watermarks: Dict[Tuple[int, str], int] = {}
+        #: root-attempt txids that aborted (any reason, incl. OWNER_FAILURE)
+        self._dead_txids: Dict[str, str] = {}
+        #: total individual checks performed (test observability)
+        self.checks = 0
+
+    def attach_proxy(self, node_id: int, proxy: "TMProxy") -> None:
+        self.proxies[node_id] = proxy
+
+    # -- inv-single-writable-copy ------------------------------------------
+
+    def check_single_writable_copy(
+        self, oid: str, node: Optional[int] = None, now: Optional[float] = None
+    ) -> None:
+        """No two nodes hold non-FREE copies of ``oid`` at one version.
+
+        Distinct versions may coexist non-FREE transiently (a fenced
+        straggler validating against a version the registry has moved
+        past will abort); two live copies *at the same version* mean the
+        single-writable-copy property itself forked.
+        """
+        self.checks += 1
+        holders: Dict[int, Tuple[int, str]] = {}
+        for node_id in sorted(self.proxies):
+            obj = self.proxies[node_id].store.get(oid)
+            if obj is None or obj.state is ObjectState.FREE:
+                continue
+            other = holders.get(obj.version)
+            if other is not None and other[0] != node_id:
+                raise InvariantViolation(
+                    "inv-single-writable-copy", oid, node=node, time=now,
+                    version=obj.version, holders=[other[0], node_id],
+                    holder_txids=[other[1], obj.holder],
+                )
+            holders[obj.version] = (node_id, obj.holder)
+
+    # -- inv-version-fence --------------------------------------------------
+
+    def note_register(
+        self,
+        node_id: int,
+        oid: str,
+        version: Optional[int],
+        now: Optional[float] = None,
+    ) -> None:
+        """A home registered ``version`` for ``oid`` (None = unchanged)."""
+        self.checks += 1
+        if version is None:
+            return
+        key = (node_id, oid)
+        mark = self._watermarks.get(key)
+        if mark is not None and version < mark:
+            raise InvariantViolation(
+                "inv-version-fence", oid, node=node_id, time=now,
+                registered=version, watermark=mark,
+            )
+        self._watermarks[key] = version
+
+    def note_withdraw(
+        self,
+        node_id: int,
+        oid: str,
+        old_version: int,
+        new_version: int,
+        txid: Optional[str],
+        now: Optional[float] = None,
+    ) -> None:
+        """A withdraw rolled the registry back: must be exactly one step."""
+        self.checks += 1
+        if new_version != old_version - 1:
+            raise InvariantViolation(
+                "inv-version-fence", oid, node=node_id, time=now,
+                withdraw=True, old_version=old_version,
+                new_version=new_version, txid=txid,
+            )
+        self._watermarks[(node_id, oid)] = new_version
+
+    # -- inv-lease-expired --------------------------------------------------
+
+    def note_reclaim(
+        self,
+        node_id: int,
+        oid: str,
+        now: float,
+        lease_expires_at: float,
+        has_snapshot: bool,
+        old_version: int,
+        new_version: int,
+    ) -> None:
+        """The home is about to reclaim ``oid`` from a silent owner."""
+        self.checks += 1
+        if now < lease_expires_at or not has_snapshot:
+            raise InvariantViolation(
+                "inv-lease-expired", oid, node=node_id, time=now,
+                lease_expires_at=lease_expires_at, has_snapshot=has_snapshot,
+            )
+        if new_version <= old_version:
+            raise InvariantViolation(
+                "inv-version-fence", oid, node=node_id, time=now,
+                reclaim=True, old_version=old_version, new_version=new_version,
+            )
+        self._watermarks[(node_id, oid)] = new_version
+
+    def note_rehost(
+        self,
+        node_id: int,
+        oid: str,
+        old_version: int,
+        new_version: int,
+        now: Optional[float] = None,
+    ) -> None:
+        """Orphan repatriation re-hosted ``oid``: the fence must bump."""
+        self.checks += 1
+        if new_version <= old_version:
+            raise InvariantViolation(
+                "inv-version-fence", oid, node=node_id, time=now,
+                rehost=True, old_version=old_version, new_version=new_version,
+            )
+        self._watermarks[(node_id, oid)] = new_version
+
+    # -- inv-no-commit-after-owner-failure ----------------------------------
+
+    def note_abort(
+        self, txid: str, reason: str, now: Optional[float] = None
+    ) -> None:
+        """A root attempt aborted; its txid must never commit."""
+        self.checks += 1
+        self._dead_txids[txid] = reason
+
+    def check_commit(
+        self, txid: str, node: Optional[int] = None, now: Optional[float] = None
+    ) -> None:
+        """A root attempt is finalising its commit."""
+        self.checks += 1
+        reason = self._dead_txids.get(txid)
+        if reason is not None:
+            raise InvariantViolation(
+                "inv-no-commit-after-owner-failure", txid, node=node,
+                time=now, abort_reason=reason,
+            )
+
+    # -- inv-cache-coherent --------------------------------------------------
+
+    def check_cache(
+        self, cache: "LookupCache", node: Optional[int] = None
+    ) -> None:
+        """The lookup cache's internal maps stay mutually consistent."""
+        self.checks += 1
+        owners = cache._owners
+        versions = cache._versions
+        if cache.capacity is not None and len(owners) > cache.capacity:
+            raise InvariantViolation(
+                "inv-cache-coherent", "lookup-cache", node=node,
+                entries=len(owners), capacity=cache.capacity,
+            )
+        orphaned = [oid for oid in versions if oid not in owners]
+        if orphaned:
+            raise InvariantViolation(
+                "inv-cache-coherent", "lookup-cache", node=node,
+                orphaned_versions=sorted(orphaned),
+            )
+
+    # -- inv-retry-policy ----------------------------------------------------
+
+    def check_policy(self, policy: "RetryPolicy") -> None:
+        """The retry policy's derived timing bounds are self-consistent."""
+        self.checks += 1
+        windows = [policy.nth_timeout(i) for i in range(policy.attempts)]
+        monotone = all(b >= a for a, b in zip(windows, windows[1:]))
+        capped = all(w <= policy.backoff_cap for w in windows)
+        total_ok = abs(sum(windows) - policy.worst_case_wait()) < 1e-12
+        if not (monotone and capped and total_ok and windows):
+            raise InvariantViolation(
+                "inv-retry-policy", "rpc-policy",
+                windows=windows, cap=policy.backoff_cap,
+                worst_case_wait=policy.worst_case_wait(),
+            )
+
+
+def validate_policy(policy: "RetryPolicy") -> "RetryPolicy":
+    """Standalone policy check (used by :mod:`repro.faults.recovery`).
+
+    Returns the policy so call sites can validate inline::
+
+        policy = validate_policy(RetryPolicy.from_config(faults))
+    """
+    Sanitizer().check_policy(policy)
+    return policy

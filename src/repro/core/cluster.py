@@ -15,6 +15,7 @@ proxies and TFA engines, and exposes the user-facing API:
 from __future__ import annotations
 
 import itertools
+import os
 from typing import TYPE_CHECKING, Any, Callable, Dict, Generator, List, Optional
 
 from repro.core.config import ClusterConfig, SchedulerKind
@@ -37,6 +38,7 @@ from repro.scheduler.tfa_baseline import TfaScheduler
 from repro.sim import Environment, RngRegistry, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.check import Sanitizer
     from repro.obs import ObsRecorder
 
 __all__ = ["Cluster"]
@@ -120,6 +122,24 @@ class Cluster:
             rpc_policy = RpcPolicy.from_config(fc)
             lease_duration = fc.lease_duration
 
+        # Invariant sanitizer (repro.check).  Strictly additive: with the
+        # default CheckConfig(sanitize=False) — and REPRO_SANITIZE unset —
+        # no sanitizer exists and every hook site pays one `is not None`
+        # guard.  The sanitizer itself is read-only, so even sanitized
+        # runs keep the unsanitized committed timeline.
+        self.sanitizer: Optional["Sanitizer"] = None
+        if config.check.sanitize or os.environ.get(
+            "REPRO_SANITIZE", ""
+        ) not in ("", "0"):
+            from repro.check import Sanitizer
+
+            self.sanitizer = Sanitizer()
+            if rpc_policy is not None:
+                # inv-retry-policy: the recovery deadlines derived from
+                # this policy must be self-consistent before any RPC
+                # runs under it.
+                self.sanitizer.check_policy(rpc_policy)
+
         clock_rng = self.rngs.stream("clocks")
         self.nodes: List[Node] = []
         self.directories: List[DirectoryShard] = []
@@ -164,6 +184,11 @@ class Cluster:
                 rpc_client=rpc_client,
             )
             directory.proxy = proxy
+            if self.sanitizer is not None:
+                self.sanitizer.attach_proxy(node_id, proxy)
+                directory.sanitizer = self.sanitizer
+                proxy.sanitizer = self.sanitizer
+                rpc_client.cache.sanitizer = self.sanitizer
             engine = TFAEngine(
                 proxy,
                 op_local_time=config.op_local_time,
@@ -175,6 +200,8 @@ class Cluster:
             )
             engine.on_commit_hook = self.metrics.on_commit
             engine.on_abort_hook = self.metrics.on_abort
+            if self.sanitizer is not None:
+                engine.sanitizer = self.sanitizer
             self.nodes.append(node)
             self.directories.append(directory)
             self.proxies.append(proxy)

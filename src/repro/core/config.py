@@ -17,6 +17,7 @@ from repro.dstm.transaction import NestingModel
 from repro.net.topology import MS, TopologyKind
 
 __all__ = [
+    "CheckConfig",
     "ClusterConfig",
     "FaultConfig",
     "ObsConfig",
@@ -217,6 +218,32 @@ class ObsConfig:
 
 
 @dataclass(frozen=True)
+class CheckConfig:
+    """Parameterisation of the correctness tooling (``repro.check``).
+
+    With ``sanitize=False`` (the default) the cluster builds no
+    :class:`~repro.check.sanitize.Sanitizer` and every hook site pays a
+    single ``is not None`` guard — byte-identical to a build without the
+    hooks (strictly additive, same pattern as ``faults``/``obs``).  With
+    ``sanitize=True`` every ownership transition re-checks the protocol
+    safety invariants (DESIGN.md §3e) and raises
+    :class:`~repro.check.InvariantViolation` on the first breach.  The
+    sanitizer is read-only, so the committed timeline of a sanitized run
+    is identical to an unsanitized one.
+
+    ``REPRO_SANITIZE=1`` in the environment force-enables sanitizing for
+    every cluster built in the process (how CI runs the whole pytest
+    suite a second time under the sanitizer).
+    """
+
+    sanitize: bool = False
+
+    def replace(self, **changes) -> "CheckConfig":
+        """A modified copy (sugar over :func:`dataclasses.replace`)."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
 class ClusterConfig:
     """Full parameterisation of a simulated D-STM deployment."""
 
@@ -295,6 +322,9 @@ class ClusterConfig:
     #: observability layer (spans, time-series, exports); disabled by
     #: default and strictly additive like ``faults``
     obs: ObsConfig = ObsConfig()
+    #: runtime invariant sanitizer; disabled by default and strictly
+    #: additive like ``faults``/``obs``
+    check: CheckConfig = CheckConfig()
 
     def replace(self, **changes) -> "ClusterConfig":
         """A modified copy (sugar over :func:`dataclasses.replace`)."""
@@ -320,3 +350,5 @@ class ClusterConfig:
             object.__setattr__(self, "rpc", RpcConfig(**self.rpc))
         if isinstance(self.obs, dict):
             object.__setattr__(self, "obs", ObsConfig(**self.obs))
+        if isinstance(self.check, dict):
+            object.__setattr__(self, "check", CheckConfig(**self.check))

@@ -90,6 +90,10 @@ class DirectoryShard:
         #: the co-located TM proxy; set by the cluster after construction
         #: (the proxy is built later).  Needed to re-host reclaimed objects.
         self.proxy: Optional["TMProxy"] = None
+        #: runtime invariant sanitizer (repro.check); set by the cluster
+        #: when CheckConfig.sanitize is on, else every hook stays a
+        #: one-guard no-op
+        self.sanitizer = None
         self._entries: Dict[str, DirEntry] = {}
         # The shard is the server side of the directory endpoints: each
         # handler returns the reply payload; repro.rpc.serve binds it to
@@ -119,6 +123,12 @@ class DirectoryShard:
         commit attempt behind this registration (withdraw matching).
         """
         entry = self._entries.get(oid)
+        if self.sanitizer is not None:
+            self.sanitizer.note_register(
+                self.node.node_id, oid,
+                int(version) if version is not None else None,
+                now=self.node.env.now,
+            )
         if entry is None:
             entry = DirEntry(owner=owner, version=version if version is not None else 0)
             self._entries[oid] = entry
@@ -218,6 +228,14 @@ class DirectoryShard:
             return
         old_owner = entry.owner
         new_version = max(entry.version, entry.snapshot_version) + 1
+        if self.sanitizer is not None:
+            self.sanitizer.note_reclaim(
+                self.node.node_id, oid, now,
+                lease_expires_at=entry.lease_expires_at,
+                has_snapshot=entry.has_snapshot,
+                old_version=entry.version,
+                new_version=new_version,
+            )
         entry.owner = self.node.node_id
         entry.version = new_version
         entry.registered_by = None
@@ -279,6 +297,11 @@ class DirectoryShard:
                 and entry.version == int(version) + 1
                 and (txid is None or entry.registered_by == txid)
             ):
+                if self.sanitizer is not None:
+                    self.sanitizer.note_withdraw(
+                        self.node.node_id, oid, entry.version, int(version),
+                        txid, now=self.node.env.now,
+                    )
                 entry.version = int(version)
                 entry.registered_by = None
                 if txid is not None:
@@ -419,6 +442,11 @@ class DirectoryShard:
             return {"oid": oid, "accepted": False, "fenced": False}
         self._note_snapshot(entry, version, p["value"])
         new_version = max(entry.version, version) + 1
+        if self.sanitizer is not None:
+            self.sanitizer.note_rehost(
+                self.node.node_id, oid, entry.version, new_version,
+                now=self.node.env.now,
+            )
         entry.owner = self.node.node_id
         entry.version = new_version
         entry.registered_by = None

@@ -129,6 +129,10 @@ class TMProxy:
         self.conflict_scope = conflict_scope
         #: lazily-aborted transactions (greedy-timestamp ablation)
         self.doomed = DoomRegistry()
+        #: runtime invariant sanitizer (repro.check); set by the cluster
+        #: when CheckConfig.sanitize is on, else every hook stays a
+        #: one-guard no-op
+        self.sanitizer = None
         scheduler.bind(node.node_id)
 
         #: objects owned by this node
@@ -437,6 +441,12 @@ class TMProxy:
                 self._hold_started.setdefault(oid, self.node.now_local)
             self._holder_start[oid] = root.start_local_time
             self.owner_hints.put(oid, self.node.node_id, grant.version)
+            if self.sanitizer is not None:
+                # The just-installed writable copy must be the only
+                # non-FREE copy of this version anywhere in the cluster.
+                self.sanitizer.check_single_writable_copy(
+                    oid, node=self.node.node_id, now=self.env.now
+                )
         else:
             self.owner_hints.setdefault(oid, served_by, grant.version)
         if self.tracer.wants("dstm.grant"):
@@ -726,6 +736,10 @@ class TMProxy:
         obj.state = ObjectState.VALIDATING
         obj.holder = root_txid
         self._hold_started.setdefault(oid, self.node.now_local)
+        if self.sanitizer is not None:
+            self.sanitizer.check_single_writable_copy(
+                oid, node=self.node.node_id, now=self.env.now
+            )
 
     def release_object(self, oid: str, committed: bool) -> None:
         """Release a held object and serve its queue (§III-B hand-offs)."""

@@ -74,6 +74,10 @@ class TFAEngine:
         #: observer hooks (set by the metrics layer)
         self.on_commit_hook: Optional[Callable[[Transaction, float], None]] = None
         self.on_abort_hook: Optional[Callable[[Transaction, AbortReason, List[Transaction]], None]] = None
+        #: runtime invariant sanitizer (repro.check); set by the cluster
+        #: when CheckConfig.sanitize is on, else every hook stays a
+        #: one-guard no-op
+        self.sanitizer = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -553,6 +557,12 @@ class TFAEngine:
             pass  # crashed home: its stale registration heals via reclaim
 
     def _finalize_commit(self, root: Transaction) -> None:
+        if self.sanitizer is not None:
+            # An attempt that aborted (OWNER_FAILURE included) must never
+            # reach commit finalisation.
+            self.sanitizer.check_commit(
+                root.txid, node=self.node.node_id, now=self.env.now
+            )
         root.status = TxStatus.COMMITTED
         now = self.node.now_local
         duration = now - root.start_local_time
@@ -574,6 +584,10 @@ class TFAEngine:
         if root.status is not TxStatus.LIVE:
             return []
         killed = root.mark_aborted()
+        if self.sanitizer is not None:
+            self.sanitizer.note_abort(
+                root.txid, reason.value, now=self.env.now
+            )
         self._release_levels(killed)
         self.proxy.doomed.clear(root.task_id)
         self.proxy.scheduler.on_abort(root, reason)

@@ -13,6 +13,7 @@ commit-publish, and orphan-sweep processes in
 
 from __future__ import annotations
 
+from repro.check.sanitize import validate_policy
 from repro.rpc.policy import RetryPolicy as RpcPolicy
 
-__all__ = ["RpcPolicy"]
+__all__ = ["RpcPolicy", "validate_policy"]

@@ -41,7 +41,7 @@ class LookupCache:
 
     __slots__ = (
         "fencing", "capacity", "_owners", "_versions",
-        "hits", "misses", "fences", "evictions",
+        "hits", "misses", "fences", "evictions", "sanitizer",
     )
 
     def __init__(self, fencing: bool = False, capacity: Optional[int] = None) -> None:
@@ -55,6 +55,9 @@ class LookupCache:
         self.misses = 0
         self.fences = 0
         self.evictions = 0
+        #: runtime invariant sanitizer (repro.check); set by the cluster
+        #: when CheckConfig.sanitize is on, else mutations skip the check
+        self.sanitizer = None
 
     # -- typed API ---------------------------------------------------------
 
@@ -74,6 +77,8 @@ class LookupCache:
             # version record so fencing never judges the new entry by a
             # previous owner's learn point.
             self._versions.pop(oid, None)
+        if self.sanitizer is not None:
+            self.sanitizer.check_cache(self)
 
     def lookup(self, oid: str) -> Optional[int]:
         """The cached owner (counting the hit/miss), or None."""
@@ -117,12 +122,16 @@ class LookupCache:
             del self._owners[oid]
             self._versions.pop(oid, None)
             self.fences += 1
+        if self.sanitizer is not None:
+            self.sanitizer.check_cache(self)
 
     def invalidate(self, oid: str) -> None:
         """Drop ``oid`` unconditionally (counted as a fence if present)."""
         if self._owners.pop(oid, _MISSING) is not _MISSING:
             self.fences += 1
         self._versions.pop(oid, None)
+        if self.sanitizer is not None:
+            self.sanitizer.check_cache(self)
 
     def hit_rate(self) -> float:
         probes = self.hits + self.misses

@@ -150,7 +150,7 @@ class Event:
             else "triggered" if self.triggered
             else "pending"
         )
-        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"  # check: allow[det-id-order] -- debug repr only; never ordered or persisted
 
 
 class Timeout(Event):

@@ -1,0 +1,194 @@
+"""Determinism-linter unit tests plus the repo gate: ``src/`` itself must
+lint clean within the committed suppression budget."""
+
+import textwrap
+from pathlib import Path
+
+from repro.check.lint import DEFAULT_BUDGET, lint_paths, lint_source, load_budget
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def findings(src: str):
+    found, _ = lint_source("<test>", textwrap.dedent(src))
+    return found
+
+
+def rule_ids(src: str):
+    return [f.rule for f in findings(src)]
+
+
+class TestWallClock:
+    def test_time_module_calls(self):
+        assert rule_ids("import time\nt = time.time()\n") == ["det-wall-clock"]
+        assert rule_ids(
+            "import time as _t\nt = _t.perf_counter()\n"
+        ) == ["det-wall-clock"]
+
+    def test_from_import(self):
+        assert rule_ids(
+            "from time import monotonic\nt = monotonic()\n"
+        ) == ["det-wall-clock"]
+
+    def test_datetime_now(self):
+        assert rule_ids(
+            "from datetime import datetime\nd = datetime.now()\n"
+        ) == ["det-wall-clock"]
+        assert rule_ids(
+            "import datetime\nd = datetime.datetime.utcnow()\n"
+        ) == ["det-wall-clock"]
+
+    def test_deterministic_time_use_is_clean(self):
+        # Simulated clocks and arithmetic on stored floats are fine.
+        assert rule_ids("now = env.now\nlater = now + 0.5\n") == []
+
+
+class TestUnseededRng:
+    def test_random_module(self):
+        assert rule_ids("import random\nx = random.random()\n") == [
+            "det-unseeded-rng"
+        ]
+        assert rule_ids(
+            "from random import randint\nx = randint(1, 6)\n"
+        ) == ["det-unseeded-rng"]
+
+    def test_numpy_global_rng(self):
+        assert rule_ids(
+            "import numpy as np\nnp.random.shuffle(xs)\n"
+        ) == ["det-unseeded-rng"]
+        assert rule_ids(
+            "import numpy as np\ng = np.random.default_rng()\n"
+        ) == ["det-unseeded-rng"]
+
+    def test_seeded_numpy_api_is_clean(self):
+        assert rule_ids(
+            "import numpy as np\n"
+            "g = np.random.default_rng(7)\n"
+            "s = np.random.SeedSequence(entropy=1, spawn_key=(2,))\n"
+        ) == []
+
+    def test_instance_methods_are_clean(self):
+        # rng.random() on a seeded Generator instance is the blessed path.
+        assert rule_ids("x = rng.random()\ny = rng.integers(0, 5)\n") == []
+
+
+class TestUnorderedIter:
+    def test_set_literal_and_constructor(self):
+        assert rule_ids("for x in {1, 2, 3}:\n    pass\n") == [
+            "det-unordered-iter"
+        ]
+        assert rule_ids("ys = [f(x) for x in set(xs)]\n") == [
+            "det-unordered-iter"
+        ]
+
+    def test_tracked_local_set_name(self):
+        assert rule_ids(
+            "s = set()\ns.add(1)\nfor x in s:\n    pass\n"
+        ) == ["det-unordered-iter"]
+
+    def test_set_annotated_parameter(self):
+        src = """
+        from typing import Set
+
+        def emit(pending: Set[str]):
+            for oid in pending:
+                use(oid)
+        """
+        assert rule_ids(src) == ["det-unordered-iter"]
+
+    def test_set_typed_self_attribute(self):
+        src = """
+        class Proxy:
+            def __init__(self):
+                self.acquired: set = set()
+
+            def release_all(self):
+                for oid in self.acquired:
+                    release(oid)
+        """
+        assert rule_ids(src) == ["det-unordered-iter"]
+
+    def test_sorted_wrapping_is_clean(self):
+        assert rule_ids(
+            "s = set(xs)\nfor x in sorted(s):\n    pass\n"
+        ) == []
+
+    def test_rebinding_to_ordered_value_clears_tracking(self):
+        assert rule_ids(
+            "s = set(xs)\ns = sorted(s)\nfor x in s:\n    pass\n"
+        ) == []
+
+    def test_set_union_expression(self):
+        assert rule_ids(
+            "a = set(xs)\nfor x in a | {1}:\n    pass\n"
+        ) == ["det-unordered-iter"]
+
+
+class TestIdOrderAndDefaults:
+    def test_id_and_hash(self):
+        assert rule_ids("k = id(obj)\n") == ["det-id-order"]
+        assert rule_ids("k = hash(name)\n") == ["det-id-order"]
+
+    def test_mutable_default(self):
+        assert rule_ids("def f(xs=[]):\n    pass\n") == ["det-mutable-default"]
+        assert rule_ids(
+            "def f(*, cache=dict()):\n    pass\n"
+        ) == ["det-mutable-default"]
+
+    def test_none_default_is_clean(self):
+        assert rule_ids("def f(xs=None, n=3, s='x'):\n    pass\n") == []
+
+
+class TestSuppressions:
+    def test_justified_suppression_silences_the_finding(self):
+        src = (
+            "import time\n"
+            "t = time.time()  # check: allow[det-wall-clock] -- host-side only\n"
+        )
+        found, sups = lint_source("<test>", src)
+        assert found == []
+        assert len(sups) == 1 and sups[0].used == {"det-wall-clock"}
+
+    def test_bare_allow_is_itself_a_finding(self):
+        src = (
+            "import time\n"
+            "t = time.time()  # check: allow[det-wall-clock]\n"
+        )
+        assert {f.rule for f in findings(src)} == {
+            "det-wall-clock", "det-bare-allow"
+        }
+
+    def test_unknown_rule_id_is_a_finding(self):
+        assert "det-bare-allow" in rule_ids(
+            "x = 1  # check: allow[no-such-rule] -- why\n"
+        )
+
+    def test_stale_suppression_is_a_finding(self):
+        assert rule_ids(
+            "x = 1  # check: allow[det-wall-clock] -- nothing here\n"
+        ) == ["det-bare-allow"]
+
+    def test_docstring_examples_are_not_suppressions(self):
+        src = (
+            '"""Example:\n'
+            "    t = time.time()  # check: allow[det-wall-clock] -- why\n"
+            '"""\n'
+        )
+        found, sups = lint_source("<test>", src)
+        assert found == [] and sups == []
+
+
+class TestRepoGate:
+    """The acceptance criterion, as a test: src/ lints clean in budget."""
+
+    def test_src_tree_is_clean(self):
+        found, sups = lint_paths([str(REPO / "src")])
+        assert [f.render() for f in found] == []
+        budget = load_budget(str(REPO / "pyproject.toml"))
+        assert len(sups) <= budget
+        for sup in sups:
+            assert sup.rules and sup.justification
+
+    def test_budget_comes_from_pyproject(self):
+        assert load_budget(str(REPO / "pyproject.toml")) == 4
+        assert load_budget("/nonexistent/pyproject.toml") == DEFAULT_BUDGET

@@ -1,0 +1,53 @@
+"""The rule registry is the contract: stable ids, one namespace, every
+rule documented well enough to render the DESIGN.md §3e table."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.check.rules import (
+    INVARIANT_RULES,
+    LINT_RULES,
+    RACE_RULES,
+    RULES,
+    known_ids,
+    rule,
+)
+
+_KEBAB = re.compile(r"^[a-z][a-z0-9]*(-[a-z0-9]+)+$")
+
+
+def test_namespace_is_disjoint_union():
+    assert len(RULES) == len(LINT_RULES) + len(INVARIANT_RULES) + len(RACE_RULES)
+    assert set(RULES) == set(known_ids())
+
+
+def test_ids_are_kebab_case_with_family_prefix():
+    for rule_id in LINT_RULES:
+        assert rule_id.startswith("det-") and _KEBAB.match(rule_id)
+    for rule_id in INVARIANT_RULES:
+        assert rule_id.startswith("inv-") and _KEBAB.match(rule_id)
+    for rule_id in RACE_RULES:
+        assert rule_id.startswith("race-") and _KEBAB.match(rule_id)
+
+
+def test_every_rule_is_fully_documented():
+    for r in RULES.values():
+        assert r.summary and r.property and r.paper, r.id
+        assert r.id == rule(r.id).id
+
+
+def test_unknown_id_is_a_hard_error():
+    with pytest.raises(KeyError):
+        rule("inv-does-not-exist")
+
+
+def test_design_doc_table_matches_the_registry():
+    """DESIGN.md §3e's table and the registry list exactly the same ids."""
+    design = (Path(__file__).resolve().parents[2] / "DESIGN.md").read_text(
+        encoding="utf-8"
+    )
+    section = design.split("## 3e.")[1].split("\n## ")[0]
+    documented = set(re.findall(r"^\| `([a-z0-9-]+)` \|", section, re.MULTILINE))
+    assert documented == set(RULES)

@@ -16,7 +16,7 @@ fix), re-record the pins in the same commit and say why in its message.
 import pytest
 
 from repro.core import ClusterConfig, SchedulerKind
-from repro.core.config import RpcConfig
+from repro.core.config import CheckConfig, RpcConfig
 from repro.core.experiment import run_experiment
 
 # (workload, num_nodes, seed) -> (commits, root_aborts, sim_events)
@@ -26,8 +26,10 @@ PINS = {
 }
 
 
-def run_cell(workload, num_nodes, seed, rpc=None):
+def run_cell(workload, num_nodes, seed, rpc=None, check=None):
     kwargs = {} if rpc is None else {"rpc": rpc}
+    if check is not None:
+        kwargs["check"] = check
     cfg = ClusterConfig(
         num_nodes=num_nodes, seed=seed,
         scheduler=SchedulerKind.RTS, cl_threshold=4, **kwargs,
@@ -52,3 +54,15 @@ def test_explicit_zero_config_is_the_default():
     assert explicit.messages_sent > 0
     assert "rpc_batches" not in explicit.extra
     assert "rpc_cache_hits" not in explicit.extra
+
+
+@pytest.mark.parametrize("sanitize", [False, True], ids=["off", "on"])
+def test_check_config_preserves_the_pin(sanitize):
+    """CheckConfig is strictly additive in *both* states: sanitize=False
+    builds no sanitizer (byte-identical by construction), and
+    sanitize=True only observes — the sanitizer draws no randomness and
+    sends no messages, so the committed timeline is still the pin."""
+    cell = ("dht", 6, 3)
+    result = run_cell(*cell, check=CheckConfig(sanitize=sanitize))
+    assert (result.commits, result.root_aborts,
+            result.sim_events) == PINS[cell]

@@ -49,7 +49,9 @@ class TestSinglePolicyObject:
 
         assert RpcPolicy is RetryPolicy
         assert recovery.RpcPolicy is RetryPolicy
-        assert recovery.__all__ == ["RpcPolicy"]
+        # The shim re-exports the one policy class plus the repro.check
+        # consistency gate over it — still no second policy object.
+        assert recovery.__all__ == ["RpcPolicy", "validate_policy"]
 
     def test_node_request_honours_policy_ladder(self, env):
         """Node.request owns the retry loop: a silent peer costs exactly
