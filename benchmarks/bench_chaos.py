@@ -24,8 +24,9 @@ if __package__ in (None, ""):  # executed as a script: self-locate
 
 import pytest
 
-from benchmarks.conftest import run_cell
+from benchmarks.conftest import cell_spec, run_cell
 from repro.core.config import FaultConfig
+from repro.par import add_par_args, run_cells
 
 DROP_AXIS = (0.0, 0.01, 0.05)
 CHAOS_NODES = 6
@@ -47,6 +48,16 @@ def chaos_faults(drop_rate: float, **overrides) -> FaultConfig:
     )
     kw.update(overrides)
     return FaultConfig(**kw)
+
+
+def chaos_spec(scheduler, drop_rate, seed=1, read_fraction=0.5,
+               obs=None, nodes=CHAOS_NODES, **fault_overrides):
+    return cell_spec(
+        "bank", scheduler, read_fraction,
+        nodes=nodes, horizon=CHAOS_HORIZON, seed=seed,
+        faults=chaos_faults(drop_rate, **fault_overrides),
+        **({"obs": obs} if obs is not None else {}),
+    )
 
 
 def run_chaos_cell(scheduler, drop_rate, seed=1, read_fraction=0.5,
@@ -124,33 +135,39 @@ def main(argv=None) -> int:
     parser.add_argument("--chrome-out", metavar="TRACE.JSON", default=None,
                         help="export a Chrome trace_event file (load in "
                              "Perfetto / chrome://tracing) for the same cell")
+    add_par_args(parser)
     args = parser.parse_args(argv)
     if not args.smoke:
         parser.print_help()
         return 0
 
     traced_cell = (DROP_AXIS[-1], "rts")
+    grid = [(drop, sched) for drop in DROP_AXIS for sched in ("rts", "tfa")]
+    specs = []
+    for drop, sched in grid:
+        obs = None
+        if (drop, sched) == traced_cell and (args.trace_out or args.chrome_out):
+            obs = dict(enabled=True, jsonl_path=args.trace_out,
+                       chrome_path=args.chrome_out)
+        specs.append(chaos_spec(sched, drop, seed=args.seed, obs=obs,
+                                nodes=args.nodes))
+    sweep = run_cells(specs, jobs=args.jobs, cache_dir=args.cache_dir)
+
     header = f"{'drop':>6} | {'sched':>5} | {'commits':>7} | {'tx/s':>8} | {'drops':>6} | {'retries':>7} | {'reclaims':>8}"
-    print(f"chaos @ {args.nodes} nodes")
+    print(f"chaos @ {args.nodes} nodes (jobs={args.jobs})")
     print(header)
     print("-" * len(header))
-    for drop in DROP_AXIS:
-        for sched in ("rts", "tfa"):
-            obs = None
-            if (drop, sched) == traced_cell and (args.trace_out or args.chrome_out):
-                obs = dict(enabled=True, jsonl_path=args.trace_out,
-                           chrome_path=args.chrome_out)
-            r = run_chaos_cell(sched, drop, seed=args.seed, obs=obs,
-                               nodes=args.nodes)
-            x = r.extra
-            print(
-                f"{drop:>6.2f} | {sched:>5} | {r.commits:>7} | "
-                f"{r.throughput:>8.1f} | {x.get('fault_drops', 0):>6} | "
-                f"{x.get('rpc_retries', 0):>7} | {x.get('lease_reclaims', 0):>8}"
-            )
-            if r.commits <= 10:
-                print(f"FAIL: {sched} @ drop={drop}: only {r.commits} commits")
-                return 1
+    for (drop, sched), outcome in zip(grid, sweep.in_spec_order()):
+        r = outcome.result
+        x = r.extra
+        print(
+            f"{drop:>6.2f} | {sched:>5} | {r.commits:>7} | "
+            f"{r.throughput:>8.1f} | {x.get('fault_drops', 0):>6} | "
+            f"{x.get('rpc_retries', 0):>7} | {x.get('lease_reclaims', 0):>8}"
+        )
+        if r.commits <= 10:
+            print(f"FAIL: {sched} @ drop={drop}: only {r.commits} commits")
+            return 1
     print("ok: progress under every drop rate")
     if args.trace_out:
         print(f"obs event log: {args.trace_out} "

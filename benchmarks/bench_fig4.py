@@ -23,8 +23,9 @@ if __package__ in (None, ""):  # executed as a script: self-locate
 
 import pytest
 
-from benchmarks.conftest import run_cell
+from benchmarks.conftest import cell_spec, run_cell
 from repro.analysis.scales import BENCHMARKS, parse_nodes
+from repro.par import add_par_args, run_cells
 
 NODE_AXIS = (6, 12, 18)
 
@@ -90,16 +91,12 @@ def main(argv=None) -> int:
                              "with `python -m repro.obs.report RUN.JSONL`")
     parser.add_argument("--chrome-out", metavar="TRACE.JSON", default=None,
                         help="export a Chrome trace_event file (Perfetto)")
+    add_par_args(parser)
     args = parser.parse_args(argv)
 
     node_axis = parse_nodes(args.nodes)
     traced = max(node_axis)
-    header = (f"{'nodes':>5} | {'commits':>7} | {'tx/s':>8} | {'abort%':>6} | "
-              f"{'msgs':>8} | {'cache%':>6} | {'batch':>6}")
-    print(f"{args.workload}/{args.scheduler} scale sweep "
-          f"(batch_window={args.batch_window}, cache={args.cache})")
-    print(header)
-    print("-" * len(header))
+    specs = []
     for nodes in node_axis:
         kwargs = {"rpc": dict(batch_window=args.batch_window, cache=args.cache)}
         if args.horizon is not None:
@@ -107,8 +104,20 @@ def main(argv=None) -> int:
         if nodes == traced and (args.trace_out or args.chrome_out):
             kwargs["obs"] = dict(enabled=True, jsonl_path=args.trace_out,
                                  chrome_path=args.chrome_out)
-        r = run_cell(args.workload, args.scheduler, 0.9,
-                     nodes=nodes, seed=args.seed, **kwargs)
+        specs.append(cell_spec(args.workload, args.scheduler, 0.9,
+                               nodes=nodes, seed=args.seed, **kwargs))
+    sweep = run_cells(specs, jobs=args.jobs, cache_dir=args.cache_dir)
+
+    header = (f"{'nodes':>5} | {'commits':>7} | {'tx/s':>8} | {'abort%':>6} | "
+              f"{'msgs':>8} | {'cache%':>6} | {'batch':>6}")
+    print(f"{args.workload}/{args.scheduler} scale sweep "
+          f"(batch_window={args.batch_window}, cache={args.cache}, "
+          f"jobs={args.jobs})")
+    print(header)
+    print("-" * len(header))
+    for outcome in sweep.in_spec_order():
+        r = outcome.result
+        nodes = r.num_nodes
         x = r.extra
         cache_pct = (f"{x['rpc_cache_hit_rate'] * 100:.1f}"
                      if "rpc_cache_hit_rate" in x else "-")
@@ -120,6 +129,10 @@ def main(argv=None) -> int:
         if r.commits <= 0:
             print(f"FAIL: no commits at {nodes} nodes")
             return 1
+    if args.cache_dir:
+        s = sweep.cache_stats
+        print(f"cell cache: {sweep.from_cache}/{len(specs)} served "
+              f"(hits={s['hits']} misses={s['misses']} writes={s['writes']})")
     if args.trace_out:
         print(f"obs event log: {args.trace_out} "
               f"(python -m repro.obs.report {args.trace_out})")

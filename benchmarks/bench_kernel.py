@@ -16,10 +16,13 @@ Usage::
 
     python benchmarks/bench_kernel.py                 # all workloads
     python benchmarks/bench_kernel.py --procs 200 --events 400000
+    python benchmarks/bench_kernel.py --min-eps 100000   # CI floor
+    python benchmarks/bench_kernel.py --json out.json    # machine-readable
     pytest benchmarks/bench_kernel.py                 # smoke assertions
 """
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -130,14 +133,36 @@ def main(argv=None) -> int:
                         help="kernel events per workload")
     parser.add_argument("--workload", choices=sorted(WORKLOADS),
                         default=None, help="run only this workload")
+    parser.add_argument("--min-eps", type=float, default=None, metavar="EPS",
+                        help="fail (exit 1) if any workload falls below this "
+                             "events/sec floor — a loose hot-path regression "
+                             "tripwire for CI")
+    parser.add_argument("--json", metavar="OUT.JSON", default=None,
+                        help="also write per-workload events/sec as JSON "
+                             "(the BENCH_PAR.json recording path)")
     args = parser.parse_args(argv)
 
     names = [args.workload] if args.workload else list(WORKLOADS)
     print(f"kernel microbenchmark: {args.procs} procs, "
           f"{args.events} events per workload")
+    measured = {}
     for name in names:
         eps = WORKLOADS[name](args.procs, args.events)
+        measured[name] = round(eps)
         print(f"  {name:<16} {eps:>12,.0f} events/s")
+    if args.json:
+        payload = {"procs": args.procs, "events": args.events,
+                   "events_per_sec": measured}
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    if args.min_eps is not None:
+        slow = {n: e for n, e in measured.items() if e < args.min_eps}
+        if slow:
+            print(f"FAIL: below --min-eps {args.min_eps:,.0f} floor: {slow}")
+            return 1
+        print(f"ok: all workloads above {args.min_eps:,.0f} events/s")
     return 0
 
 

@@ -10,18 +10,63 @@ modes:
   on the simulated metrics;
 * ``python -m repro.analysis.reproduce <artefact> [--scale full]`` —
   regenerates the complete table/figure series (see EXPERIMENTS.md).
+
+Cells run through ``repro.par``: results are served from an on-disk
+content-addressed cache (default ``benchmarks/.cell_cache``; override
+with ``REPRO_CELL_CACHE=<dir>``, disable with ``REPRO_CELL_CACHE=``),
+so benchmark pytest reruns skip already-computed cells.  CLI sweeps
+accept ``--jobs``/``--cache-dir`` to fan cells across processes.
 """
+
+import os
+from pathlib import Path
 
 import pytest
 
 from repro.core.config import ClusterConfig, SchedulerKind
-from repro.core.experiment import ExperimentResult, run_experiment
+from repro.core.experiment import ExperimentResult
+from repro.par import CellSpec, run_cells
 
 #: scaled-down defaults shared by all bench files
 BENCH_NODES = 12
 BENCH_HORIZON = 8.0
 BENCH_WORKERS = 2
 BENCH_SEED = 1
+
+#: default on-disk cell cache for pytest runs (rerunning the benchmark
+#: suite recomputes nothing); deterministic results make serving from
+#: cache observably identical to recomputing
+_DEFAULT_CACHE = str(Path(__file__).resolve().parent / ".cell_cache")
+
+#: sentinel: "caller did not choose" — use the suite's default cache
+SESSION_CACHE = "<session>"
+
+
+def cache_dir_or_default(cache_dir):
+    """Resolve a --cache-dir style value to a directory or None."""
+    if cache_dir == SESSION_CACHE:
+        return os.environ.get("REPRO_CELL_CACHE", _DEFAULT_CACHE) or None
+    return cache_dir
+
+
+def cell_spec(
+    workload: str,
+    scheduler: SchedulerKind | str,
+    read_fraction: float,
+    nodes: int = BENCH_NODES,
+    horizon: float = BENCH_HORIZON,
+    seed: int = BENCH_SEED,
+    **config_kwargs,
+) -> CellSpec:
+    """One experiment cell at bench scale (the repro.par unit)."""
+    cfg = ClusterConfig(
+        num_nodes=nodes, seed=seed, scheduler=SchedulerKind(scheduler),
+        cl_threshold=config_kwargs.pop("cl_threshold", 4), **config_kwargs,
+    )
+    return CellSpec(
+        workload, cfg, read_fraction=read_fraction,
+        workers_per_node=BENCH_WORKERS, horizon=horizon,
+    )
 
 
 def run_cell(
@@ -31,27 +76,26 @@ def run_cell(
     nodes: int = BENCH_NODES,
     horizon: float = BENCH_HORIZON,
     seed: int = BENCH_SEED,
+    cache_dir: str | None = SESSION_CACHE,
     **config_kwargs,
 ) -> ExperimentResult:
-    """One experiment cell at bench scale."""
-    cfg = ClusterConfig(
-        num_nodes=nodes, seed=seed, scheduler=SchedulerKind(scheduler),
-        cl_threshold=config_kwargs.pop("cl_threshold", 4), **config_kwargs,
-    )
-    return run_experiment(
-        workload, cfg, read_fraction=read_fraction,
-        workers_per_node=BENCH_WORKERS, horizon=horizon,
-    )
+    """One experiment cell at bench scale, served from the cell cache."""
+    spec = cell_spec(workload, scheduler, read_fraction,
+                     nodes=nodes, horizon=horizon, seed=seed, **config_kwargs)
+    run = run_cells([spec], jobs=1, cache_dir=cache_dir_or_default(cache_dir))
+    return run.outcomes[0].result
 
 
 @pytest.fixture(scope="session")
 def bench_cache():
-    """Memoises experiment cells across benchmark functions in a session."""
-    cache = {}
+    """Compatibility shim for cell memoisation across benchmark functions.
+
+    Historically an in-memory session dict; the on-disk cell cache in
+    :func:`run_cell` now provides the same skip-if-computed behaviour
+    (and survives across sessions), so this just invokes the thunk.
+    """
 
     def get(key, thunk):
-        if key not in cache:
-            cache[key] = thunk()
-        return cache[key]
+        return thunk()
 
     return get

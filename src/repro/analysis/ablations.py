@@ -25,10 +25,11 @@ from typing import Any, Dict, List
 from repro.analysis.render import render_table
 from repro.analysis.scales import SCALES, Scale
 from repro.core.config import ClusterConfig, SchedulerKind
-from repro.core.experiment import run_experiment
+from repro.core.experiment import ExperimentResult
 from repro.dstm.contention import WinnerPolicy
 from repro.dstm.transaction import NestingModel
 from repro.net.topology import MS
+from repro.par import CellSpec, run_cells
 
 __all__ = [
     "run_threshold_sweep",
@@ -41,11 +42,31 @@ __all__ = [
 ]
 
 
-def _run(bench: str, cfg: ClusterConfig, read_fraction: float, preset: Scale):
-    return run_experiment(
+def _spec(
+    bench: str,
+    cfg: ClusterConfig,
+    read_fraction: float,
+    preset: Scale,
+    workload_kwargs: Dict[str, Any] | None = None,
+) -> CellSpec:
+    return CellSpec(
         bench, cfg, read_fraction=read_fraction,
         workers_per_node=preset.workers_per_node, horizon=preset.horizon,
+        workload_kwargs=workload_kwargs,
     )
+
+
+def _run_grid(
+    specs: List[CellSpec], jobs: int = 1, cache_dir: str | None = None
+) -> List[ExperimentResult]:
+    """Run an ablation's cells through repro.par, results in spec order.
+
+    Every runner below funnels its grid through here, so ``--jobs`` and
+    ``--cache-dir`` apply uniformly and rows come back in the same order
+    the serial loops produced them (deterministic merge).
+    """
+    run = run_cells(specs, jobs=jobs, cache_dir=cache_dir)
+    return [outcome.result for outcome in run.in_spec_order()]
 
 
 def run_threshold_sweep(
@@ -53,17 +74,21 @@ def run_threshold_sweep(
     seed: int = 1,
     bench: str = "bank",
     thresholds: List[Any] = (1, 2, 3, 4, 6, 8, 12, "adaptive"),
+    jobs: int = 1,
+    cache_dir: str | None = None,
 ) -> List[Dict[str, Any]]:
     """A1: RTS throughput/aborts across CL thresholds, high contention."""
     preset = SCALES[scale] if isinstance(scale, str) else scale
     nodes = preset.table_nodes
-    rows = []
-    for threshold in thresholds:
-        cfg = ClusterConfig(
+    specs = [
+        _spec(bench, ClusterConfig(
             num_nodes=nodes, seed=seed, scheduler=SchedulerKind.RTS,
             cl_threshold=None if threshold == "adaptive" else int(threshold),
-        )
-        res = _run(bench, cfg, 0.1, preset)
+        ), 0.1, preset)
+        for threshold in thresholds
+    ]
+    rows = []
+    for threshold, res in zip(thresholds, _run_grid(specs, jobs, cache_dir)):
         rows.append({
             "threshold": threshold,
             "throughput": res.throughput,
@@ -74,28 +99,34 @@ def run_threshold_sweep(
 
 
 def run_backoff_ablation(
-    scale: str | Scale = "quick", seed: int = 1, bench: str = "bank"
+    scale: str | Scale = "quick", seed: int = 1, bench: str = "bank",
+    jobs: int = 1, cache_dir: str | None = None,
 ) -> List[Dict[str, Any]]:
     """A2: the three schedulers' policies head-to-head, both contentions."""
     preset = SCALES[scale] if isinstance(scale, str) else scale
+    grid = [(contention, rf, sched)
+            for contention, rf in (("low", 0.9), ("high", 0.1))
+            for sched in SchedulerKind]
+    specs = [
+        _spec(bench, ClusterConfig(num_nodes=preset.table_nodes, seed=seed,
+                                   scheduler=sched, cl_threshold=4), rf, preset)
+        for _contention, rf, sched in grid
+    ]
     rows = []
-    for contention, rf in (("low", 0.9), ("high", 0.1)):
-        for sched in SchedulerKind:
-            cfg = ClusterConfig(num_nodes=preset.table_nodes, seed=seed,
-                                scheduler=sched, cl_threshold=4)
-            res = _run(bench, cfg, rf, preset)
-            rows.append({
-                "contention": contention,
-                "policy": sched.value,
-                "throughput": res.throughput,
-                "aborts": res.root_aborts,
-                "messages": res.messages_sent,
-            })
+    for (contention, _rf, sched), res in zip(grid, _run_grid(specs, jobs, cache_dir)):
+        rows.append({
+            "contention": contention,
+            "policy": sched.value,
+            "throughput": res.throughput,
+            "aborts": res.root_aborts,
+            "messages": res.messages_sent,
+        })
     return rows
 
 
 def run_network_ablation(
-    scale: str | Scale = "quick", seed: int = 1, bench: str = "ll"
+    scale: str | Scale = "quick", seed: int = 1, bench: str = "ll",
+    jobs: int = 1, cache_dir: str | None = None,
 ) -> List[Dict[str, Any]]:
     """A3: sensitivity to the link-delay band."""
     preset = SCALES[scale] if isinstance(scale, str) else scale
@@ -105,25 +136,30 @@ def run_network_ablation(
         "uniform 50ms": (50 * MS, 50 * MS + 1e-9),
         "wan 10-200ms": (10 * MS, 200 * MS),
     }
+    grid = [(name, lo, hi, sched)
+            for name, (lo, hi) in bands.items()
+            for sched in (SchedulerKind.RTS, SchedulerKind.TFA)]
+    specs = [
+        _spec(bench, ClusterConfig(
+            num_nodes=preset.table_nodes, seed=seed, scheduler=sched,
+            cl_threshold=4, min_link_delay=lo, max_link_delay=hi,
+        ), 0.1, preset)
+        for _name, lo, hi, sched in grid
+    ]
     rows = []
-    for name, (lo, hi) in bands.items():
-        for sched in (SchedulerKind.RTS, SchedulerKind.TFA):
-            cfg = ClusterConfig(
-                num_nodes=preset.table_nodes, seed=seed, scheduler=sched,
-                cl_threshold=4, min_link_delay=lo, max_link_delay=hi,
-            )
-            res = _run(bench, cfg, 0.1, preset)
-            rows.append({
-                "band": name,
-                "scheduler": sched.value,
-                "throughput": res.throughput,
-                "aborts": res.root_aborts,
-            })
+    for (name, _lo, _hi, sched), res in zip(grid, _run_grid(specs, jobs, cache_dir)):
+        rows.append({
+            "band": name,
+            "scheduler": sched.value,
+            "throughput": res.throughput,
+            "aborts": res.root_aborts,
+        })
     return rows
 
 
 def run_nesting_ablation(
-    scale: str | Scale = "quick", seed: int = 1, bench: str = "bank"
+    scale: str | Scale = "quick", seed: int = 1, bench: str = "bank",
+    jobs: int = 1, cache_dir: str | None = None,
 ) -> List[Dict[str, Any]]:
     """A4: closed vs flat vs open nesting under RTS and TFA.
 
@@ -132,117 +168,142 @@ def run_nesting_ablation(
     abort) — the third nesting model §I describes.
     """
     preset = SCALES[scale] if isinstance(scale, str) else scale
-    rows = []
     configs = [
         ("closed", NestingModel.CLOSED, {}),
         ("flat", NestingModel.FLAT, {}),
         ("open", NestingModel.CLOSED, {"open_nesting": True}),
     ]
-    for label, nesting, wl_kwargs in configs:
-        for sched in (SchedulerKind.RTS, SchedulerKind.TFA):
-            cfg = ClusterConfig(num_nodes=preset.table_nodes, seed=seed,
-                                scheduler=sched, cl_threshold=4,
-                                nesting=nesting)
-            res = run_experiment(
-                bench, cfg, read_fraction=0.1,
-                workers_per_node=preset.workers_per_node,
-                horizon=preset.horizon, workload_kwargs=wl_kwargs,
-            )
-            rows.append({
-                "nesting": label,
-                "scheduler": sched.value,
-                "throughput": res.throughput,
-                "aborts": res.root_aborts,
-                "nested_abort_rate": round(res.nested_abort_rate, 3),
-            })
+    grid = [(label, nesting, wl_kwargs, sched)
+            for label, nesting, wl_kwargs in configs
+            for sched in (SchedulerKind.RTS, SchedulerKind.TFA)]
+    specs = [
+        _spec(bench, ClusterConfig(num_nodes=preset.table_nodes, seed=seed,
+                                   scheduler=sched, cl_threshold=4,
+                                   nesting=nesting),
+              0.1, preset, workload_kwargs=wl_kwargs or None)
+        for _label, nesting, wl_kwargs, sched in grid
+    ]
+    rows = []
+    for (label, _nesting, _wl, sched), res in zip(
+        grid, _run_grid(specs, jobs, cache_dir)
+    ):
+        rows.append({
+            "nesting": label,
+            "scheduler": sched.value,
+            "throughput": res.throughput,
+            "aborts": res.root_aborts,
+            "nested_abort_rate": round(res.nested_abort_rate, 3),
+        })
     return rows
 
 
 def run_conflict_scope_ablation(
-    scale: str | Scale = "quick", seed: int = 1, bench: str = "bank"
+    scale: str | Scale = "quick", seed: int = 1, bench: str = "bank",
+    jobs: int = 1, cache_dir: str | None = None,
 ) -> List[Dict[str, Any]]:
     """A5: busy-conflict victim semantics."""
     preset = SCALES[scale] if isinstance(scale, str) else scale
+    grid = [(scope, sched)
+            for scope in ("root", "mixed", "level")
+            for sched in (SchedulerKind.RTS, SchedulerKind.TFA)]
+    specs = [
+        _spec(bench, ClusterConfig(num_nodes=preset.table_nodes, seed=seed,
+                                   scheduler=sched, cl_threshold=4,
+                                   conflict_scope=scope), 0.1, preset)
+        for scope, sched in grid
+    ]
     rows = []
-    for scope in ("root", "mixed", "level"):
-        for sched in (SchedulerKind.RTS, SchedulerKind.TFA):
-            cfg = ClusterConfig(num_nodes=preset.table_nodes, seed=seed,
-                                scheduler=sched, cl_threshold=4,
-                                conflict_scope=scope)
-            res = _run(bench, cfg, 0.1, preset)
-            rows.append({
-                "scope": scope,
-                "scheduler": sched.value,
-                "throughput": res.throughput,
-                "aborts": res.root_aborts,
-                "nested_abort_rate": round(res.nested_abort_rate, 3),
-            })
+    for (scope, sched), res in zip(grid, _run_grid(specs, jobs, cache_dir)):
+        rows.append({
+            "scope": scope,
+            "scheduler": sched.value,
+            "throughput": res.throughput,
+            "aborts": res.root_aborts,
+            "nested_abort_rate": round(res.nested_abort_rate, 3),
+        })
     return rows
 
 
 def run_contention_manager_ablation(
-    scale: str | Scale = "quick", seed: int = 1, bench: str = "bank"
+    scale: str | Scale = "quick", seed: int = 1, bench: str = "bank",
+    jobs: int = 1, cache_dir: str | None = None,
 ) -> List[Dict[str, Any]]:
     """A6: holder-wins (paper) vs greedy-timestamp dooming."""
     preset = SCALES[scale] if isinstance(scale, str) else scale
+    grid = [(policy, sched)
+            for policy in (WinnerPolicy.HOLDER_WINS, WinnerPolicy.GREEDY_TIMESTAMP)
+            for sched in (SchedulerKind.RTS, SchedulerKind.TFA)]
+    specs = [
+        _spec(bench, ClusterConfig(num_nodes=preset.table_nodes, seed=seed,
+                                   scheduler=sched, cl_threshold=4,
+                                   winner_policy=policy), 0.1, preset)
+        for policy, sched in grid
+    ]
     rows = []
-    for policy in (WinnerPolicy.HOLDER_WINS, WinnerPolicy.GREEDY_TIMESTAMP):
-        for sched in (SchedulerKind.RTS, SchedulerKind.TFA):
-            cfg = ClusterConfig(num_nodes=preset.table_nodes, seed=seed,
-                                scheduler=sched, cl_threshold=4,
-                                winner_policy=policy)
-            res = _run(bench, cfg, 0.1, preset)
-            rows.append({
-                "winner_policy": policy.value,
-                "scheduler": sched.value,
-                "throughput": res.throughput,
-                "aborts": res.root_aborts,
-            })
+    for (policy, sched), res in zip(grid, _run_grid(specs, jobs, cache_dir)):
+        rows.append({
+            "winner_policy": policy.value,
+            "scheduler": sched.value,
+            "throughput": res.throughput,
+            "aborts": res.root_aborts,
+        })
     return rows
 
 
 def run_admission_ablation(
-    scale: str | Scale = "quick", seed: int = 1, bench: str = "bank"
+    scale: str | Scale = "quick", seed: int = 1, bench: str = "bank",
+    jobs: int = 1, cache_dir: str | None = None,
 ) -> List[Dict[str, Any]]:
     """A8: RTS execution-time admission rule (paper-literal vs economic)."""
     preset = SCALES[scale] if isinstance(scale, str) else scale
+    grid = [(admission, rf, contention)
+            for admission in ("paper", "economic")
+            for rf, contention in ((0.9, "low"), (0.1, "high"))]
+    specs = [
+        _spec(bench, ClusterConfig(num_nodes=preset.table_nodes, seed=seed,
+                                   scheduler=SchedulerKind.RTS, cl_threshold=4,
+                                   rts_admission=admission), rf, preset)
+        for admission, rf, _contention in grid
+    ]
     rows = []
-    for admission in ("paper", "economic"):
-        for rf, contention in ((0.9, "low"), (0.1, "high")):
-            cfg = ClusterConfig(num_nodes=preset.table_nodes, seed=seed,
-                                scheduler=SchedulerKind.RTS, cl_threshold=4,
-                                rts_admission=admission)
-            res = _run(bench, cfg, rf, preset)
-            rows.append({
-                "admission": admission,
-                "contention": contention,
-                "throughput": res.throughput,
-                "aborts": res.root_aborts,
-                "messages_per_commit": round(
-                    res.messages_sent / max(res.commits, 1), 1
-                ),
-            })
+    for (admission, _rf, contention), res in zip(
+        grid, _run_grid(specs, jobs, cache_dir)
+    ):
+        rows.append({
+            "admission": admission,
+            "contention": contention,
+            "throughput": res.throughput,
+            "aborts": res.root_aborts,
+            "messages_per_commit": round(
+                res.messages_sent / max(res.commits, 1), 1
+            ),
+        })
     return rows
 
 
 def run_abort_cost_ablation(
-    scale: str | Scale = "quick", seed: int = 1, bench: str = "bank"
+    scale: str | Scale = "quick", seed: int = 1, bench: str = "bank",
+    jobs: int = 1, cache_dir: str | None = None,
 ) -> List[Dict[str, Any]]:
     """A7: framework abort-overhead sensitivity."""
     preset = SCALES[scale] if isinstance(scale, str) else scale
+    grid = [(overhead, sched)
+            for overhead in (0.0, 0.01, 0.05)
+            for sched in (SchedulerKind.RTS, SchedulerKind.TFA)]
+    specs = [
+        _spec(bench, ClusterConfig(num_nodes=preset.table_nodes, seed=seed,
+                                   scheduler=sched, cl_threshold=4,
+                                   abort_overhead=overhead), 0.1, preset)
+        for overhead, sched in grid
+    ]
     rows = []
-    for overhead in (0.0, 0.01, 0.05):
-        for sched in (SchedulerKind.RTS, SchedulerKind.TFA):
-            cfg = ClusterConfig(num_nodes=preset.table_nodes, seed=seed,
-                                scheduler=sched, cl_threshold=4,
-                                abort_overhead=overhead)
-            res = _run(bench, cfg, 0.1, preset)
-            rows.append({
-                "abort_overhead_ms": overhead * 1e3,
-                "scheduler": sched.value,
-                "throughput": res.throughput,
-                "aborts": res.root_aborts,
-            })
+    for (overhead, sched), res in zip(grid, _run_grid(specs, jobs, cache_dir)):
+        rows.append({
+            "abort_overhead_ms": overhead * 1e3,
+            "scheduler": sched.value,
+            "throughput": res.throughput,
+            "aborts": res.root_aborts,
+        })
     return rows
 
 
@@ -251,8 +312,14 @@ def run_locator_ablation(
     seed: int = 1,
     num_objects: int = 12,
     migrations_per_object: int = 12,
+    jobs: int = 1,
+    cache_dir: str | None = None,
 ) -> List[Dict[str, Any]]:
     """A9: object-location strategies — home directory vs Arrow.
+
+    Runs serially regardless of ``jobs``/``cache_dir`` (accepted for
+    CLI uniformity): this ablation drives raw directory protocols, not
+    experiment cells, so it has no cell key to cache under.
 
     Synthetic churn: objects migrate between uniformly random nodes.  The
     home-directory locator pays lookup+request round trips against a

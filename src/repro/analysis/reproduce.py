@@ -47,6 +47,9 @@ def main(argv: List[str] | None = None) -> int:
                         help="restrict to these benchmarks")
     parser.add_argument("--export-dir", default=None,
                         help="also write each artefact as JSON into this directory")
+    from repro.par import add_par_args
+
+    add_par_args(parser)
     args = parser.parse_args(argv)
 
     wanted = list(ARTEFACTS) if "all" in args.artefacts else args.artefacts
@@ -87,7 +90,8 @@ def main(argv: List[str] | None = None) -> int:
             export("fig6", rows)
         elif artefact == "ablations":
             for name, (runner, _title) in ALL_ABLATIONS.items():
-                rows = runner(scale=args.scale, seed=args.seed)
+                rows = runner(scale=args.scale, seed=args.seed,
+                              jobs=args.jobs, cache_dir=args.cache_dir)
                 print(format_ablation(name, rows))
                 export(f"ablation_{name}", rows)
                 print()

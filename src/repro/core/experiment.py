@@ -8,7 +8,7 @@ throughput, abort accounting, and the Table-I nested-abort rate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, Optional
 
 from repro.core.cluster import Cluster
@@ -16,6 +16,26 @@ from repro.core.config import ClusterConfig, SchedulerKind
 from repro.core.executor import WorkloadExecutor
 
 __all__ = ["ExperimentResult", "run_experiment"]
+
+#: table-rendering float precision, shared by the named metrics and
+#: everything inside ``extra`` (one normalisation point — see row())
+_ROW_NDIGITS = 4
+
+
+def _round_value(value: Any, ndigits: int = _ROW_NDIGITS) -> Any:
+    """Round floats (recursing into dicts/lists/tuples) for table rows.
+
+    ``extra`` carries whatever the enabled subsystems measured; without
+    this, raw floats (mean batch sizes, hit rates, ...) print at full
+    precision and make otherwise-identical tables diff noisily.
+    """
+    if isinstance(value, float):
+        return round(value, ndigits)
+    if isinstance(value, dict):
+        return {k: _round_value(v, ndigits) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_round_value(v, ndigits) for v in value]
+    return value
 
 
 @dataclass
@@ -50,11 +70,21 @@ class ExperimentResult:
             "commits": self.commits,
             "aborts": self.root_aborts,
             "throughput": round(self.throughput, 2),
-            "abort_ratio": round(self.abort_ratio, 4),
-            "nested_abort_rate": round(self.nested_abort_rate, 4),
+            "abort_ratio": round(self.abort_ratio, _ROW_NDIGITS),
+            "nested_abort_rate": round(self.nested_abort_rate, _ROW_NDIGITS),
         }
-        out.update(self.extra)
+        out.update({k: _round_value(v) for k, v in self.extra.items()})
         return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (what ``repro.par`` caches and ships between
+        processes); exact — no rounding."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExperimentResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**data)
 
 
 def run_experiment(

@@ -35,7 +35,7 @@ class NestingModel(str, enum.Enum):
     FLAT = "flat"
 
 
-@dataclass
+@dataclass(slots=True)
 class ETS:
     """The paper's execution-time structure: (start, request, expected commit).
 

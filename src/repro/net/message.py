@@ -13,9 +13,23 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
-__all__ = ["Message", "MessageType"]
+__all__ = ["Message", "MessageType", "reset_msg_ids"]
 
 _msg_ids = itertools.count(1)
+
+
+def reset_msg_ids() -> None:
+    """Restart the process-global message-id counter at 1.
+
+    Message ids only need to be unique within one simulation; the counter
+    is global, so a cell's ids (and therefore its exported traces) depend
+    on how many cells ran earlier in the same process.  The parallel
+    sweep engine (``repro.par``) calls this before every cell so a cell's
+    artifacts are identical whether it runs first, later, serially, or in
+    a pool worker.  Never call it mid-simulation.
+    """
+    global _msg_ids
+    _msg_ids = itertools.count(1)
 
 
 class MessageType(str, enum.Enum):
@@ -53,9 +67,15 @@ class MessageType(str, enum.Enum):
     PONG = "pong"
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
-    """An envelope travelling between two nodes."""
+    """An envelope travelling between two nodes.
+
+    ``slots=True``: messages are the simulation's highest-volume
+    allocation (one per protocol hop), and dropping the per-instance
+    ``__dict__`` measurably cuts both allocation time and memory on the
+    large-node sweeps (see BENCH_PAR.json).
+    """
 
     mtype: MessageType
     src: int
@@ -70,7 +90,10 @@ class Message:
     sent_at: float = 0.0
 
     def __post_init__(self) -> None:
-        self.mtype = MessageType(self.mtype)
+        # Coerce only when needed: almost every construction site already
+        # passes a MessageType, and the enum-call lookup is hot-path cost.
+        if self.mtype.__class__ is not MessageType:
+            self.mtype = MessageType(self.mtype)
 
     def is_reply(self) -> bool:
         return self.reply_to is not None

@@ -33,6 +33,8 @@ class Network:
     ) -> None:
         self.env = env
         self.topology = topology
+        #: bound per-message delay lookup (hot path: one call per send)
+        self._link_delay = topology.delay
         self.tracer = tracer or Tracer()
         self.local_delay = float(local_delay)
         self._nodes: Dict[int, "Node"] = {}
@@ -79,7 +81,7 @@ class Network:
         delay = (
             self.local_delay
             if msg.src == msg.dst
-            else self.topology.delay(msg.src, msg.dst)
+            else self._link_delay(msg.src, msg.dst)
         )
         self.messages_sent.increment()
         self.per_type[msg.mtype] = self.per_type.get(msg.mtype, 0) + 1

@@ -59,6 +59,16 @@ class Topology:
         self.max_delay = float(max_delay)
         self.positions = self._place(rng, num_clusters)
         self.delays = self._delay_matrix()
+        # Hot-path memoisation: the simulation pays a delay lookup per
+        # message, and scalar-indexing the numpy matrix (plus the float()
+        # coercion) costs several times a plain nested-list index.
+        # ``tolist`` preserves the exact float values, so behaviour is
+        # bit-identical to reading the matrix.
+        self._delay_rows: list[list[float]] = self.delays.tolist()
+        n = self.num_nodes
+        self._mean_delay: float = (
+            float(self.delays.sum() / (n * (n - 1))) if n >= 2 else 0.0
+        )
 
     # -- construction -------------------------------------------------------
 
@@ -97,19 +107,19 @@ class Topology:
 
     def delay(self, src: int, dst: int) -> float:
         """One-way link delay between ``src`` and ``dst`` (0 for src==dst)."""
-        return float(self.delays[src, dst])
+        return self._delay_rows[src][dst]
 
     def distance(self, src: int, dst: int) -> float:
         """Metric distance d(n_src, n_dst)."""
         return float(np.linalg.norm(self.positions[src] - self.positions[dst]))
 
     def mean_delay(self) -> float:
-        """Average off-diagonal delay (0 for a single node)."""
-        n = self.num_nodes
-        if n < 2:
-            return 0.0
-        total = self.delays.sum()  # diagonal is zero
-        return float(total / (n * (n - 1)))
+        """Average off-diagonal delay (0 for a single node).
+
+        Memoised at construction: the proxy's holder-remaining estimate
+        reads this once per conflict, and delays are static (§IV-A).
+        """
+        return self._mean_delay
 
     def nearest_nodes(self, src: int, k: int) -> list[int]:
         """The ``k`` nodes with smallest delay from ``src`` (excluding src)."""

@@ -1,0 +1,107 @@
+"""The content-addressed on-disk cell cache.
+
+Layout: ``<root>/<key[:2]>/<key>.json`` — one canonical-JSON file per
+cell, enveloped with the package version and its own key so a reader
+can reject stale or misplaced entries without trusting the path.
+
+Write discipline: serialise to a per-writer temp file in the *same*
+directory, then ``os.replace`` onto the final name.  The rename is
+atomic on POSIX, so concurrent workers computing the same cell never
+interleave bytes — and because both writers serialise the same
+deterministic result through :func:`~repro.par.cells.canonical_json`,
+last-writer-wins is also content-identical.
+
+Read discipline: *any* failure (missing file, truncated JSON, version
+mismatch, key mismatch) is a miss, never an exception — a corrupted
+cache degrades to recomputation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro import __version__
+from repro.par.cells import canonical_json
+
+__all__ = ["CellCache"]
+
+
+class CellCache:
+    """Maps cell keys to experiment-result dicts on disk."""
+
+    def __init__(self, root: str | Path, version: str = __version__) -> None:
+        self.root = Path(root)
+        self.version = version
+        #: entries served from disk
+        self.hits = 0
+        #: lookups that fell through to recomputation
+        self.misses = 0
+        #: misses caused by an unreadable/stale/foreign file (subset)
+        self.invalid = 0
+        #: entries written this session
+        self.writes = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- lookup -------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored result dict, or None (miss) — never raises."""
+        path = self.path_for(key)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            payload = json.loads(text)
+        except ValueError:
+            self.invalid += 1
+            self.misses += 1
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != self.version
+            or payload.get("key") != key
+            or not isinstance(payload.get("result"), dict)
+        ):
+            self.invalid += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload["result"]
+
+    # -- store --------------------------------------------------------------
+
+    def put(self, key: str, result: Dict[str, Any]) -> Path:
+        """Atomically persist ``result`` under ``key``; returns the path."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"version": self.version, "key": key, "result": result}
+        # Same-directory temp file, unique per writer; os.replace is an
+        # atomic rename, so readers see old bytes or new bytes, never a mix.
+        tmp = path.parent / f".{key}.{os.getpid()}.tmp"
+        tmp.write_text(canonical_json(payload), encoding="utf-8")
+        os.replace(tmp, path)
+        self.writes += 1
+        return path
+
+    # -- reporting ----------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalid": self.invalid,
+            "writes": self.writes,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<CellCache {self.root} v{self.version} "
+            f"hits={self.hits} misses={self.misses}>"
+        )

@@ -39,7 +39,7 @@ class DecisionKind(str, enum.Enum):
     ENQUEUE = "enqueue"
 
 
-@dataclass
+@dataclass(slots=True)
 class ConflictDecision:
     kind: DecisionKind
     #: backoff budget granted to an enqueued requester (RTS), or a hint
@@ -73,9 +73,12 @@ class ConflictDecision:
                    contention=contention, threshold=threshold)
 
 
-@dataclass
+@dataclass(slots=True)
 class ConflictContext:
-    """Everything the owner-side policy may consult."""
+    """Everything the owner-side policy may consult.
+
+    One instance per remote conflict (``slots=True``: see BENCH_PAR.json).
+    """
 
     oid: str
     obj: VersionedObject

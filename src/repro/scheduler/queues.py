@@ -20,7 +20,7 @@ from repro.dstm.transaction import ETS
 __all__ = ["Requester", "RequesterList"]
 
 
-@dataclass
+@dataclass(slots=True)
 class Requester:
     """One queue entry (paper's ``Requester`` class: address + txid)."""
 

@@ -47,6 +47,8 @@ class EmptySchedule(SimulationError):
 class Environment:
     """A deterministic discrete-event simulation environment."""
 
+    __slots__ = ("_now", "_heap", "_seq", "events_processed")
+
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
         self._heap: list[tuple[float, int, int, Event]] = []
@@ -88,6 +90,9 @@ class Environment:
     # -- scheduling (kernel-internal) ------------------------------------------
 
     def _enqueue(self, delay: float, priority: int, event: Event) -> None:
+        # Reference scheduling path.  The kernel hot sites (Timeout
+        # construction, Event.succeed/fail, process bootstrap) inline this
+        # push; they must stay semantically identical to it.
         if event._scheduled:
             raise SimulationError(f"{event!r} scheduled twice")
         event._scheduled = True

@@ -15,6 +15,7 @@ number, which makes the simulation fully deterministic.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Callable, Iterable, Optional
 
 __all__ = [
@@ -100,7 +101,14 @@ class Event:
             raise EventAlreadyTriggered(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.env._enqueue(0.0, PRIORITY_NORMAL, self)
+        # Inlined Environment._enqueue (succeed() is a kernel hot path);
+        # the slow path keeps the scheduled-twice diagnostics.
+        env = self.env
+        if self._scheduled:
+            env._enqueue(0.0, PRIORITY_NORMAL, self)
+        self._scheduled = True
+        env._seq += 1
+        heappush(env._heap, (env._now, PRIORITY_NORMAL, env._seq, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -112,7 +120,12 @@ class Event:
         self._ok = False
         self._value = exception
         self._defused = False
-        self.env._enqueue(0.0, PRIORITY_NORMAL, self)
+        env = self.env
+        if self._scheduled:
+            env._enqueue(0.0, PRIORITY_NORMAL, self)
+        self._scheduled = True
+        env._seq += 1
+        heappush(env._heap, (env._now, PRIORITY_NORMAL, env._seq, self))
         return self
 
     def trigger(self, event: "Event") -> None:
@@ -175,7 +188,11 @@ class Timeout(Event):
         super().__init__(env)
         self.delay = delay
         self._fire_value = value
-        env._enqueue(delay, priority, self)
+        # Inlined Environment._enqueue: a fresh Timeout cannot already be
+        # scheduled, so the double-scheduling guard is statically satisfied.
+        self._scheduled = True
+        env._seq += 1
+        heappush(env._heap, (env._now + delay, priority, env._seq, self))
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay!r}>"

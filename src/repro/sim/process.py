@@ -19,6 +19,7 @@ paper's Algorithm 2 — is built out of this primitive.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Generator, Optional
 
 from repro.sim.events import Event, PRIORITY_URGENT
@@ -60,11 +61,15 @@ class Process(Event):
         self.name = name or getattr(generator, "__name__", "process")
         # Kick off the process at the current time, urgently so that a
         # just-created process starts before same-time normal events.
+        # Scheduling is Environment._enqueue inlined (process creation is
+        # a kernel hot path; the fresh event cannot be scheduled twice).
         bootstrap = Event(env)
         bootstrap._ok = True
         bootstrap._value = None
         bootstrap.callbacks.append(self._resume)
-        env._enqueue(0.0, PRIORITY_URGENT, bootstrap)
+        bootstrap._scheduled = True
+        env._seq += 1
+        heappush(env._heap, (env._now, PRIORITY_URGENT, env._seq, bootstrap))
 
     # -- state -------------------------------------------------------------
 

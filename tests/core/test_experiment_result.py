@@ -1,0 +1,63 @@
+"""ExperimentResult: table-row formatting and dict round-tripping."""
+
+import json
+
+from repro.core.experiment import ExperimentResult
+
+
+def make_result(**overrides):
+    base = dict(
+        workload="bank", scheduler="rts", num_nodes=8, read_fraction=0.9,
+        seed=1, horizon=8.0, commits=100, root_aborts=10,
+        throughput=12.3456789, abort_ratio=0.09090909,
+        nested_abort_rate=0.12345678, nested_aborts_own=3,
+        nested_aborts_parent=4, mean_commit_latency=0.0123456,
+        messages_sent=5000, sim_events=60000,
+        extra={"abandoned": 2},
+    )
+    base.update(overrides)
+    return ExperimentResult(**base)
+
+
+class TestRowFormatting:
+    def test_named_floats_rounded(self):
+        row = make_result().row()
+        assert row["throughput"] == 12.35
+        assert row["abort_ratio"] == 0.0909
+        assert row["nested_abort_rate"] == 0.1235
+
+    def test_extra_floats_rounded_like_named_metrics(self):
+        """The satellite fix: extra used to pass through unrounded,
+        making otherwise-identical tables diff noisily."""
+        row = make_result(extra={
+            "rpc_mean_batch": 1.23456789,
+            "rpc_cache_hit_rate": 0.987654321,
+        }).row()
+        assert row["rpc_mean_batch"] == 1.2346
+        assert row["rpc_cache_hit_rate"] == 0.9877
+
+    def test_extra_rounding_recurses_into_containers(self):
+        row = make_result(extra={
+            "obs": {"mean_span": 0.123456789, "counts": [1, 2.345678901]},
+        }).row()
+        assert row["obs"] == {"mean_span": 0.1235, "counts": [1, 2.3457]}
+
+    def test_extra_non_floats_untouched(self):
+        row = make_result(extra={"abandoned": 2, "note": "x"}).row()
+        assert row["abandoned"] == 2 and row["note"] == "x"
+
+
+class TestDictRoundTrip:
+    def test_to_dict_from_dict_identity(self):
+        result = make_result(extra={"abandoned": 2, "rpc_cache_hits": 7})
+        assert ExperimentResult.from_dict(result.to_dict()) == result
+
+    def test_to_dict_is_exact(self):
+        """The cache stores exact values; only row() rounds."""
+        result = make_result()
+        assert result.to_dict()["throughput"] == 12.3456789
+
+    def test_json_round_trip_preserves_floats(self):
+        result = make_result()
+        data = json.loads(json.dumps(result.to_dict()))
+        assert ExperimentResult.from_dict(data) == result

@@ -1,0 +1,118 @@
+"""CellCache: atomicity, corruption tolerance, version fencing."""
+
+import json
+import multiprocessing
+import os
+
+from repro.par import CellCache
+
+RESULT = {"commits": 7, "throughput": 12.5, "extra": {"abandoned": 0}}
+KEY = "ab" + "0" * 62
+
+
+class TestLookup:
+    def test_roundtrip(self, tmp_path):
+        cache = CellCache(tmp_path)
+        path = cache.put(KEY, RESULT)
+        assert path.exists()
+        assert cache.get(KEY) == RESULT
+        assert cache.stats() == {"hits": 1, "misses": 0, "invalid": 0, "writes": 1}
+
+    def test_missing_is_a_miss(self, tmp_path):
+        cache = CellCache(tmp_path)
+        assert cache.get(KEY) is None
+        assert cache.misses == 1 and cache.invalid == 0
+
+    def test_sharded_layout(self, tmp_path):
+        cache = CellCache(tmp_path)
+        assert cache.path_for(KEY).parent.name == KEY[:2]
+
+
+class TestCorruption:
+    """A damaged cache degrades to recomputation, never to a crash."""
+
+    def _seed_entry(self, tmp_path):
+        cache = CellCache(tmp_path)
+        cache.put(KEY, RESULT)
+        return cache, cache.path_for(KEY)
+
+    def test_garbage_bytes_fall_back_to_miss(self, tmp_path):
+        cache, path = self._seed_entry(tmp_path)
+        path.write_text("!!! not json !!!")
+        assert cache.get(KEY) is None
+        assert cache.invalid == 1
+
+    def test_truncated_file_falls_back_to_miss(self, tmp_path):
+        cache, path = self._seed_entry(tmp_path)
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        assert cache.get(KEY) is None
+        assert cache.invalid == 1
+
+    def test_wrong_envelope_shape_falls_back_to_miss(self, tmp_path):
+        cache, path = self._seed_entry(tmp_path)
+        path.write_text(json.dumps([1, 2, 3]))
+        assert cache.get(KEY) is None
+        assert cache.invalid == 1
+
+    def test_key_mismatch_falls_back_to_miss(self, tmp_path):
+        """An entry copied/renamed to the wrong address is rejected."""
+        cache, path = self._seed_entry(tmp_path)
+        other = "cd" + "1" * 62
+        target = cache.path_for(other)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(path.read_text())
+        assert cache.get(other) is None
+        assert cache.invalid == 1
+
+
+class TestVersionFencing:
+    def test_version_bump_invalidates_stale_entries(self, tmp_path):
+        old = CellCache(tmp_path, version="1.0.0")
+        old.put(KEY, RESULT)
+        new = CellCache(tmp_path, version="1.1.0")
+        assert new.get(KEY) is None
+        assert new.invalid == 1
+        # The old reader still sees its own entry.
+        assert old.get(KEY) == RESULT
+
+
+def _hammer(root, key, n):
+    cache = CellCache(root)
+    for _ in range(n):
+        cache.put(key, RESULT)
+
+
+class TestAtomicity:
+    def test_no_temp_droppings(self, tmp_path):
+        cache = CellCache(tmp_path)
+        cache.put(KEY, RESULT)
+        leftovers = [p for p in cache.path_for(KEY).parent.iterdir()
+                     if p.suffix == ".tmp"]
+        assert leftovers == []
+
+    def test_concurrent_writers_never_interleave(self, tmp_path):
+        """Two processes rewriting the same key: every read sees a full,
+        valid entry (write-to-temp + atomic rename), never mixed bytes."""
+        ctx = multiprocessing.get_context("fork")
+        writers = [
+            ctx.Process(target=_hammer, args=(str(tmp_path), KEY, 60))
+            for _ in range(2)
+        ]
+        for w in writers:
+            w.start()
+        reader = CellCache(tmp_path)
+        while any(w.is_alive() for w in writers):
+            got = reader.get(KEY)
+            assert got is None or got == RESULT
+        for w in writers:
+            w.join()
+            assert w.exitcode == 0
+        assert reader.invalid == 0
+        assert reader.get(KEY) == RESULT
+
+    def test_unique_temp_names_per_writer(self, tmp_path):
+        cache = CellCache(tmp_path)
+        tmp_name = f".{KEY}.{os.getpid()}.tmp"
+        cache.put(KEY, RESULT)
+        # the temp path embeds the pid, so two processes cannot collide
+        assert not (cache.path_for(KEY).parent / tmp_name).exists()

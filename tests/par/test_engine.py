@@ -1,0 +1,144 @@
+"""The sweep engine: byte-identity across jobs/cache modes (pinned)."""
+
+import pytest
+
+from repro.core.config import ClusterConfig, SchedulerKind
+from repro.par import CellSpec, cell_key, run_cells
+
+
+def sweep_specs(horizon=1.5):
+    """A small mixed sweep: two workloads, two node counts, two seeds."""
+    specs = []
+    for workload, nodes, seed in (
+        ("bank", 5, 1),
+        ("bank", 6, 2),
+        ("dht", 5, 3),
+        ("dht", 6, 1),
+    ):
+        cfg = ClusterConfig(num_nodes=nodes, seed=seed,
+                            scheduler=SchedulerKind.RTS, cl_threshold=4)
+        specs.append(CellSpec(workload, cfg, read_fraction=0.9,
+                              workers_per_node=2, horizon=horizon))
+    return specs
+
+
+@pytest.fixture(scope="module")
+def serial_run():
+    return run_cells(sweep_specs(), jobs=1)
+
+
+class TestByteIdentity:
+    """The tentpole pin: parallelism and caching are pure wall-clock
+    optimisations — the merged sweep bytes never change."""
+
+    def test_jobs4_identical_to_serial(self, serial_run):
+        par = run_cells(sweep_specs(), jobs=4)
+        assert par.digest() == serial_run.digest()
+
+    def test_jobs2_identical_to_serial(self, serial_run):
+        par = run_cells(sweep_specs(), jobs=2)
+        assert par.digest() == serial_run.digest()
+
+    def test_cold_cache_run_identical_to_uncached(self, serial_run, tmp_path):
+        cold = run_cells(sweep_specs(), jobs=1, cache_dir=tmp_path)
+        assert cold.digest() == serial_run.digest()
+
+    def test_warm_cache_run_identical_to_uncached(self, serial_run, tmp_path):
+        run_cells(sweep_specs(), jobs=1, cache_dir=tmp_path)
+        warm = run_cells(sweep_specs(), jobs=1, cache_dir=tmp_path)
+        assert warm.digest() == serial_run.digest()
+
+    def test_parallel_cold_cache_identical(self, serial_run, tmp_path):
+        cold = run_cells(sweep_specs(), jobs=4, cache_dir=tmp_path)
+        assert cold.digest() == serial_run.digest()
+
+
+class TestMergeOrder:
+    def test_outcomes_ordered_by_cell_key(self, serial_run):
+        keys = [o.key for o in serial_run.outcomes]
+        assert keys == sorted(keys)
+
+    def test_in_spec_order_restores_input_order(self, serial_run):
+        indices = [o.index for o in serial_run.in_spec_order()]
+        assert indices == list(range(4))
+
+    def test_keys_match_specs(self, serial_run):
+        for outcome in serial_run.outcomes:
+            assert outcome.key == cell_key(outcome.spec)
+
+
+class TestCacheServing:
+    def test_second_invocation_served_from_cache(self, tmp_path):
+        """Acceptance pin: a rerun of the same sweep recomputes nothing
+        (>= 90% cache-served; here every cell is cacheable, so 100%)."""
+        first = run_cells(sweep_specs(), jobs=1, cache_dir=tmp_path)
+        assert first.computed == 4 and first.from_cache == 0
+        second = run_cells(sweep_specs(), jobs=1, cache_dir=tmp_path)
+        assert second.computed == 0
+        assert second.from_cache / len(sweep_specs()) >= 0.9
+        assert all(o.cached for o in second.outcomes)
+
+    def test_partial_rerun_only_computes_missing_cells(self, tmp_path):
+        run_cells(sweep_specs()[:2], jobs=1, cache_dir=tmp_path)
+        full = run_cells(sweep_specs(), jobs=1, cache_dir=tmp_path)
+        assert full.from_cache == 2 and full.computed == 2
+
+    def test_corrupted_entry_recomputes(self, tmp_path):
+        first = run_cells(sweep_specs()[:1], jobs=1, cache_dir=tmp_path)
+        from repro.par import CellCache
+
+        cache = CellCache(tmp_path)
+        cache.path_for(first.outcomes[0].key).write_text("garbage")
+        again = run_cells(sweep_specs()[:1], jobs=1, cache_dir=tmp_path)
+        assert again.computed == 1
+        assert again.digest() == first.digest()
+
+
+class TestArtifactRouting:
+    def test_obs_cells_bypass_cache_and_rewrite_traces(self, tmp_path):
+        """--trace-out keeps working under fan-out and warm caches: the
+        exporting cell recomputes every run and rewrites its file."""
+        trace = tmp_path / "cell.jsonl"
+        cfg = ClusterConfig(
+            num_nodes=5, seed=1, scheduler=SchedulerKind.RTS, cl_threshold=4,
+            obs=dict(enabled=True, jsonl_path=str(trace)),
+        )
+        spec = CellSpec("bank", cfg, read_fraction=0.9,
+                        workers_per_node=2, horizon=1.5)
+        assert not spec.cacheable
+        cache_dir = tmp_path / "cache"
+        run_cells([spec], jobs=1, cache_dir=cache_dir)
+        assert trace.exists() and trace.stat().st_size > 0
+        trace.unlink()
+        again = run_cells([spec], jobs=1, cache_dir=cache_dir)
+        assert again.computed == 1 and again.from_cache == 0
+        assert trace.exists() and trace.stat().st_size > 0
+
+    def test_obs_cell_written_from_pool_worker(self, tmp_path):
+        trace = tmp_path / "pooled.jsonl"
+        cfg = ClusterConfig(
+            num_nodes=5, seed=1, scheduler=SchedulerKind.RTS, cl_threshold=4,
+            obs=dict(enabled=True, jsonl_path=str(trace)),
+        )
+        spec = CellSpec("bank", cfg, read_fraction=0.9,
+                        workers_per_node=2, horizon=1.5)
+        run_cells([spec, *sweep_specs()[:1]], jobs=2)
+        assert trace.exists() and trace.stat().st_size > 0
+
+
+class TestCellKey:
+    def test_key_stable_across_equal_specs(self):
+        a, b = sweep_specs()[0], sweep_specs()[0]
+        assert cell_key(a) == cell_key(b)
+
+    def test_key_sensitive_to_config(self):
+        base = sweep_specs()[0]
+        changed = CellSpec(base.workload, base.config.replace(seed=99),
+                           read_fraction=base.read_fraction,
+                           workers_per_node=base.workers_per_node,
+                           horizon=base.horizon)
+        assert cell_key(base) != cell_key(changed)
+
+    def test_key_sensitive_to_version(self):
+        spec = sweep_specs()[0]
+        assert cell_key(spec, version="1.0.0") != cell_key(spec, version="1.0.1")
