@@ -23,7 +23,7 @@ if __package__ in (None, ""):  # executed as a script: self-locate
 
 import pytest
 
-from benchmarks.conftest import cell_spec, run_cell
+from benchmarks.conftest import add_traffic_args, arrival_from_args, cell_spec, run_cell
 from repro.analysis.scales import BENCHMARKS, parse_nodes
 from repro.par import add_par_args, run_cells
 
@@ -91,14 +91,18 @@ def main(argv=None) -> int:
                              "with `python -m repro.obs.report RUN.JSONL`")
     parser.add_argument("--chrome-out", metavar="TRACE.JSON", default=None,
                         help="export a Chrome trace_event file (Perfetto)")
+    add_traffic_args(parser)
     add_par_args(parser)
     args = parser.parse_args(argv)
+    arrival = arrival_from_args(args, parser)
 
     node_axis = parse_nodes(args.nodes)
     traced = max(node_axis)
     specs = []
     for nodes in node_axis:
         kwargs = {"rpc": dict(batch_window=args.batch_window, cache=args.cache)}
+        if arrival is not None:
+            kwargs["arrival"] = arrival
         if args.horizon is not None:
             kwargs["horizon"] = args.horizon
         if nodes == traced and (args.trace_out or args.chrome_out):
@@ -123,9 +127,14 @@ def main(argv=None) -> int:
                      if "rpc_cache_hit_rate" in x else "-")
         mean_batch = (f"{x['rpc_mean_batch']:.2f}"
                       if "rpc_mean_batch" in x else "-")
+        open_loop = ""
+        if "stable" in x:
+            open_loop = (f" | offered {x['offered_rate']:>6.1f} tx/s, "
+                         f"shed {x['shed_rate'] * 100:.1f}%, "
+                         f"{'stable' if x['stable'] else 'UNSTABLE'}")
         print(f"{nodes:>5} | {r.commits:>7} | {r.throughput:>8.1f} | "
               f"{r.abort_ratio * 100:>6.1f} | {r.messages_sent:>8} | "
-              f"{cache_pct:>6} | {mean_batch:>6}")
+              f"{cache_pct:>6} | {mean_batch:>6}{open_loop}")
         if r.commits <= 0:
             print(f"FAIL: no commits at {nodes} nodes")
             return 1

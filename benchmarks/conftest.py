@@ -86,6 +86,71 @@ def run_cell(
     return run.outcomes[0].result
 
 
+def add_traffic_args(parser):
+    """Attach the shared open-loop traffic flags to a bench CLI parser."""
+    from repro.traffic import SCENARIOS, SHED_POLICIES
+
+    group = parser.add_argument_group("open-loop traffic (repro.traffic)")
+    group.add_argument(
+        "--arrival", default=None, metavar="KIND:RATE",
+        help="run open-loop: poisson:<rate> or mmpp:<rate>[:<burst>] "
+             "(cluster-wide tx/s); unset keeps the closed worker loop",
+    )
+    group.add_argument(
+        "--zipf", type=float, default=None, metavar="S",
+        help="Zipf skew of object popularity (open-loop only)",
+    )
+    group.add_argument(
+        "--scenario", default=None, choices=sorted(SCENARIOS),
+        help="mid-run load script (open-loop only)",
+    )
+    group.add_argument(
+        "--queue-capacity", type=int, default=64,
+        help="per-node admission queue bound (open-loop only)",
+    )
+    group.add_argument(
+        "--shed-policy", default="drop-newest", choices=SHED_POLICIES,
+        help="who is shed when an admission queue is full",
+    )
+    return group
+
+
+def arrival_from_args(args, parser):
+    """Build the ArrivalConfig selected by :func:`add_traffic_args` flags.
+
+    Returns None when ``--arrival`` was not given (closed loop); open-loop
+    modifiers without ``--arrival`` are rejected via ``parser.error``.
+    """
+    from repro.core.config import ArrivalConfig
+
+    if args.arrival is None:
+        for flag, value in (("--zipf", args.zipf), ("--scenario", args.scenario)):
+            if value is not None:
+                parser.error(f"{flag} needs --arrival (it shapes open-loop traffic)")
+        return None
+    parts = args.arrival.split(":")
+    kind = parts[0]
+    if kind not in ("poisson", "mmpp") or len(parts) < 2:
+        parser.error(
+            f"--arrival must be poisson:<rate> or mmpp:<rate>[:<burst>], "
+            f"got {args.arrival!r}"
+        )
+    try:
+        rate = float(parts[1])
+        burst = float(parts[2]) if len(parts) > 2 else 4.0
+    except ValueError:
+        parser.error(f"--arrival has a non-numeric field: {args.arrival!r}")
+    if len(parts) > 3 or (kind == "poisson" and len(parts) > 2):
+        parser.error(f"--arrival has too many fields: {args.arrival!r}")
+    return ArrivalConfig(
+        enabled=True, process=kind, rate=rate, burst_factor=burst,
+        zipf_s=args.zipf if args.zipf is not None else 0.0,
+        scenario=args.scenario,
+        queue_capacity=args.queue_capacity,
+        shed_policy=args.shed_policy,
+    )
+
+
 @pytest.fixture(scope="session")
 def bench_cache():
     """Compatibility shim for cell memoisation across benchmark functions.

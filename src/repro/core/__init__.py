@@ -2,12 +2,13 @@
 workload executor, and the experiment harness."""
 
 from repro.core.api import Cluster, SchedulerKind, TransactionHandle
-from repro.core.config import ClusterConfig
+from repro.core.config import ArrivalConfig, ClusterConfig
 from repro.core.executor import WorkloadExecutor
 from repro.core.metrics import MetricsCollector
 from repro.core.experiment import ExperimentResult, run_experiment
 
 __all__ = [
+    "ArrivalConfig",
     "Cluster",
     "ClusterConfig",
     "ExperimentResult",

@@ -17,6 +17,7 @@ from repro.dstm.transaction import NestingModel
 from repro.net.topology import MS, TopologyKind
 
 __all__ = [
+    "ArrivalConfig",
     "CheckConfig",
     "ClusterConfig",
     "FaultConfig",
@@ -244,6 +245,96 @@ class CheckConfig:
 
 
 @dataclass(frozen=True)
+class ArrivalConfig:
+    """Parameterisation of the open-loop traffic plane (``repro.traffic``).
+
+    With ``enabled=False`` (the default) the experiment harness builds
+    the classic closed-loop :class:`~repro.core.executor.
+    WorkloadExecutor` and no traffic object exists: the run is
+    byte-identical to a build without the package (strict additivity,
+    pinned by ``tests/traffic/test_open_loop.py``).  With
+    ``enabled=True`` the harness builds an
+    :class:`~repro.traffic.OpenLoopExecutor` instead: a per-node arrival
+    process injects transactions at ``rate`` (cluster-wide tx/s, split
+    evenly across nodes) into bounded admission queues, and the result
+    gains ``offered_rate`` / ``shed`` / ``stable`` extras.
+    """
+
+    enabled: bool = False
+
+    # -- arrival process -------------------------------------------------
+    #: "poisson", "mmpp" (on/off bursty) or "trace" (deterministic replay)
+    process: str = "poisson"
+    #: cluster-wide mean offered rate (transactions / simulated second)
+    rate: float = 50.0
+    #: mmpp: burst-state rate multiplier over the quiet state
+    burst_factor: float = 4.0
+    #: mmpp: long-run fraction of time spent in the burst state
+    on_fraction: float = 0.25
+    #: mmpp: mean quiet+burst cycle length (seconds)
+    mean_cycle: float = 2.0
+    #: trace: absolute arrival times, fanned round-robin across nodes
+    trace: tuple = ()
+
+    # -- popularity ------------------------------------------------------
+    #: Zipf skew of object selection; 0 keeps each workload's own policy
+    zipf_s: float = 0.0
+    #: rotate the hottest object one position every this many seconds
+    hotspot_period: Optional[float] = None
+
+    # -- scenario script -------------------------------------------------
+    #: named mid-run schedule ("flash-crowd", "hotspot-migration",
+    #: "diurnal"); None = a single steady phase
+    scenario: Optional[str] = None
+
+    # -- admission control + stability ----------------------------------
+    #: per-node admission queue bound
+    queue_capacity: int = 64
+    #: who is shed when a queue is full: "drop-newest" or "drop-oldest"
+    shed_policy: str = "drop-newest"
+    #: stability-detector integration window (simulated seconds)
+    stability_window: float = 1.0
+
+    def replace(self, **changes) -> "ArrivalConfig":
+        """A modified copy (sugar over :func:`dataclasses.replace`)."""
+        return dataclasses.replace(self, **changes)
+
+    def __post_init__(self) -> None:
+        # Literal copies of repro.traffic's registries: config must not
+        # import the traffic package (it imports core right back).
+        if self.process not in ("poisson", "mmpp", "trace"):
+            raise ValueError(
+                f"unknown arrival process {self.process!r}; "
+                "have ('poisson', 'mmpp', 'trace')"
+            )
+        if self.shed_policy not in ("drop-newest", "drop-oldest"):
+            raise ValueError(
+                f"unknown shed policy {self.shed_policy!r}; "
+                "have ('drop-newest', 'drop-oldest')"
+            )
+        if self.rate <= 0:
+            raise ValueError(f"rate must be > 0, got {self.rate}")
+        if self.burst_factor < 1.0:
+            raise ValueError(f"burst_factor must be >= 1, got {self.burst_factor}")
+        if not 0.0 < self.on_fraction < 1.0:
+            raise ValueError(f"on_fraction must be in (0, 1), got {self.on_fraction}")
+        if self.mean_cycle <= 0:
+            raise ValueError(f"mean_cycle must be > 0, got {self.mean_cycle}")
+        if self.zipf_s < 0:
+            raise ValueError(f"zipf_s must be >= 0, got {self.zipf_s}")
+        if self.hotspot_period is not None and self.hotspot_period <= 0:
+            raise ValueError("hotspot_period must be > 0 (or None)")
+        if self.queue_capacity < 1:
+            raise ValueError(f"queue_capacity must be >= 1, got {self.queue_capacity}")
+        if self.stability_window <= 0:
+            raise ValueError("stability_window must be > 0")
+        if self.process == "trace" and self.enabled and not self.trace:
+            raise ValueError("trace arrival process needs a non-empty trace")
+        if not isinstance(self.trace, tuple):
+            object.__setattr__(self, "trace", tuple(self.trace))
+
+
+@dataclass(frozen=True)
 class ClusterConfig:
     """Full parameterisation of a simulated D-STM deployment."""
 
@@ -316,6 +407,11 @@ class ClusterConfig:
     #: batching window + lookup-cache mode; defaults are strictly additive
     rpc: RpcConfig = RpcConfig()
 
+    # -- open-loop traffic ---------------------------------------------------
+    #: arrival engine (repro.traffic); disabled by default — the harness
+    #: keeps the closed-loop worker-pool path, byte-identical to before
+    arrival: ArrivalConfig = ArrivalConfig()
+
     # -- tracing -------------------------------------------------------------------
     trace: bool = False
     trace_categories: Optional[tuple[str, ...]] = None
@@ -348,6 +444,8 @@ class ClusterConfig:
             object.__setattr__(self, "faults", FaultConfig(**self.faults))
         if isinstance(self.rpc, dict):
             object.__setattr__(self, "rpc", RpcConfig(**self.rpc))
+        if isinstance(self.arrival, dict):
+            object.__setattr__(self, "arrival", ArrivalConfig(**self.arrival))
         if isinstance(self.obs, dict):
             object.__setattr__(self, "obs", ObsConfig(**self.obs))
         if isinstance(self.check, dict):

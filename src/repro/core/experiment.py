@@ -104,14 +104,32 @@ def run_experiment(
         workload_name, read_fraction=read_fraction, **(workload_kwargs or {})
     )
     cluster = Cluster(config)
-    executor = WorkloadExecutor(
-        cluster,
-        workload,
-        workers_per_node=workers_per_node,
-        horizon=horizon,
-        stop_after_commits=stop_after_commits,
-        **(executor_kwargs or {}),
-    )
+    if config.arrival.enabled:
+        # Lazy import: repro.traffic imports repro.core right back.
+        from repro.traffic.engine import OpenLoopExecutor
+
+        if stop_after_commits is not None:
+            raise ValueError(
+                "stop_after_commits is a closed-loop stop condition; "
+                "open-loop runs stop at the horizon"
+            )
+        executor = OpenLoopExecutor(
+            cluster,
+            workload,
+            config.arrival,
+            service_workers=workers_per_node,
+            horizon=horizon,
+            **(executor_kwargs or {}),
+        )
+    else:
+        executor = WorkloadExecutor(
+            cluster,
+            workload,
+            workers_per_node=workers_per_node,
+            horizon=horizon,
+            stop_after_commits=stop_after_commits,
+            **(executor_kwargs or {}),
+        )
     executor.setup()
     executor.run()
     obs_summary = cluster.finish_obs()
@@ -140,10 +158,12 @@ def run_experiment(
 
 def _extra(
     cluster: Cluster,
-    executor: WorkloadExecutor,
+    executor: Any,
     obs_summary: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     extra: Dict[str, Any] = {"abandoned": executor.abandoned}
+    if cluster.config.arrival.enabled:
+        extra.update(executor.traffic_summary())
     if obs_summary is not None:
         extra["obs_events"] = cluster.obs.events if cluster.obs is not None else 0
         extra["obs"] = obs_summary

@@ -40,6 +40,16 @@ Categories (the span/series/audit model; see DESIGN.md "Observability"):
 ``obs.queue``
     Gauge: per-object requester-queue length at its owner (``node``,
     ``len``) whenever it changes.
+``traffic.arrival``
+    One open-loop arrival at a node's admission queue: ``node``,
+    ``admitted`` (False = shed) and ``phase`` (the active scenario
+    phase, ``steady`` outside scenarios).
+``traffic.queue``
+    Gauge: a node's admission-queue depth (``node``, ``len``) whenever
+    it changes.
+``traffic.phase``
+    A scenario phase boundary: ``name`` and ``rate_scale`` of the phase
+    that just activated (subject is the scenario name).
 ``fault.*``
     Fault-injection and recovery events (drops, duplicates, delays,
     crash/restart and partition windows, RPC retries, orphan
@@ -81,6 +91,9 @@ OBS_CATEGORIES = frozenset(
         "rpc.batch",
         "rpc.cache",
         "obs.queue",
+        "traffic.arrival",
+        "traffic.queue",
+        "traffic.phase",
         "dstm.conflict",
         "dstm.grant",
         "dir.owner",
@@ -110,6 +123,9 @@ _REQUIRED: Dict[str, frozenset] = {
     "rpc.batch": frozenset({"size"}),
     "rpc.cache": frozenset({"node", "hit"}),
     "obs.queue": frozenset({"node", "len"}),
+    "traffic.arrival": frozenset({"node", "admitted", "phase"}),
+    "traffic.queue": frozenset({"node", "len"}),
+    "traffic.phase": frozenset({"name", "rate_scale"}),
     "fault.drop": frozenset({"src", "dst"}),
 }
 

@@ -94,7 +94,7 @@ def summarize(
         if tally.count:
             phases[f"span.{outcome}"] = _percentile_row(tally)
 
-    return {
+    summary = {
         "window": window,
         "events": series.events,
         "t_min": series.t_min or 0.0,
@@ -109,6 +109,11 @@ def summarize(
         "faults": list(series.faults),
         "faults_dropped": series.faults_dropped,
     }
+    # Present only for open-loop runs (traffic.* events in the log); the
+    # key's absence keeps closed-loop summaries byte-identical.
+    if series.traffic or series.phases:
+        summary["traffic"] = series.traffic_summary()
+    return summary
 
 
 def _percentile_row(tally: Tally) -> Dict[str, float]:
@@ -209,6 +214,44 @@ def render(summary: Dict[str, Any], fault_limit: int = 12) -> str:
                 ],
             )
         )
+
+    traffic = summary.get("traffic")
+    if traffic:
+        out.append("\n## open-loop traffic")
+        out.append(
+            f"  offered {traffic['offered']} "
+            f"({traffic['offered_rate']:.1f} tx/s) | "
+            f"admitted {traffic['admitted']} "
+            f"({traffic['admitted_rate']:.1f} tx/s) | "
+            f"committed {traffic['committed']} "
+            f"({traffic['committed_rate']:.1f} tx/s) | "
+            f"shed {traffic['shed']} ({traffic['shed_rate'] * 100:.1f}%) | "
+            f"queue p95 {traffic['p95_depth']:.0f}"
+        )
+        if traffic["nodes"]:
+            out.append(
+                _table(
+                    ["node", "offered", "admitted", "shed", "shed%",
+                     "offered tx/s", "mean depth", "p95 depth", "max depth"],
+                    [
+                        [
+                            r["node"], str(r["offered"]), str(r["admitted"]),
+                            str(r["shed"]), f"{r['shed_rate'] * 100:.1f}",
+                            f"{r['offered_rate']:.1f}",
+                            f"{r['mean_depth']:.2f}",
+                            f"{r['p95_depth']:.0f}", str(r["max_depth"]),
+                        ]
+                        for r in traffic["nodes"]
+                    ],
+                )
+            )
+        if traffic["phases"]:
+            out.append("  phases:")
+            for p in traffic["phases"]:
+                out.append(
+                    f"  {p['t']:10.4f}s  {p['name']:<16} "
+                    f"rate x{p['rate_scale']:.2f}"
+                )
 
     batching = summary.get("batching") or {}
     if batching.get("batches"):

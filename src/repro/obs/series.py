@@ -28,7 +28,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.sim.monitor import TimeWeighted
 from repro.util.stats import Ewma
 
-__all__ = ["NodeSeries", "ObjectSeries", "SeriesTracker"]
+__all__ = ["NodeSeries", "ObjectSeries", "SeriesTracker", "TrafficSeries"]
 
 #: cap on the retained fault timeline (drops are counted, not silent)
 FAULT_TIMELINE_CAP = 4096
@@ -77,6 +77,24 @@ class ObjectSeries:
         self.queue_max = 0
 
 
+class TrafficSeries:
+    """Admission-plane aggregates for one node (open-loop runs only)."""
+
+    __slots__ = ("tag", "offered", "admitted", "shed", "depth", "depth_max",
+                 "depth_windows")
+
+    def __init__(self, tag: str, start_time: float) -> None:
+        self.tag = tag
+        self.offered = 0
+        self.admitted = 0
+        self.shed = 0
+        self.depth = TimeWeighted(f"{tag}.admission", start_time=start_time)
+        self.depth_max = 0
+        #: window index -> peak queue depth within the window (the p95
+        #: over these stays O(windows), never O(events))
+        self.depth_windows: Dict[int, int] = {}
+
+
 class SeriesTracker:
     """Streaming reducer over the observability event stream."""
 
@@ -95,6 +113,10 @@ class SeriesTracker:
         self.max_batch = 0
         self.faults: List[Tuple[float, str, str]] = []
         self.faults_dropped = 0
+        #: per-node admission-plane series (empty unless traffic.* seen)
+        self.traffic: Dict[str, TrafficSeries] = {}
+        #: scenario phase boundaries: (t, name, rate_scale)
+        self.phases: List[Tuple[float, str, float]] = []
         self.events = 0
         self.t_min: Optional[float] = None
         self.t_max: float = 0.0
@@ -114,6 +136,14 @@ class SeriesTracker:
         if series is None:
             series = ObjectSeries(oid, start_time=t)
             self.objects[oid] = series
+        return series
+
+    def _traffic(self, key: Any, t: float) -> TrafficSeries:
+        tag = key if isinstance(key, str) else f"n{key}"
+        series = self.traffic.get(tag)
+        if series is None:
+            series = TrafficSeries(tag, start_time=t)
+            self.traffic[tag] = series
         return series
 
     def feed(self, event: Dict[str, Any]) -> None:
@@ -170,6 +200,26 @@ class SeriesTracker:
             self._object(event["sub"], t).conflicts += 1
         elif cat == "dir.owner":
             self._object(event["sub"], t).migrations += 1
+        elif cat == "traffic.arrival":
+            tr = self._traffic(event["node"], t)
+            tr.offered += 1
+            if event["admitted"]:
+                tr.admitted += 1
+            else:
+                tr.shed += 1
+        elif cat == "traffic.queue":
+            tr = self._traffic(event["node"], t)
+            depth = int(event["len"])
+            tr.depth.update(t, depth)
+            if depth > tr.depth_max:
+                tr.depth_max = depth
+            idx = int(t / self.window)
+            if depth > tr.depth_windows.get(idx, 0):
+                tr.depth_windows[idx] = depth
+        elif cat == "traffic.phase":
+            self.phases.append(
+                (t, str(event["name"]), float(event["rate_scale"]))
+            )
         elif cat == "sched.decision":
             key = (event["action"], event.get("cause", ""))
             self.decisions[key] = self.decisions.get(key, 0) + 1
@@ -257,9 +307,58 @@ class SeriesTracker:
             "max_batch": self.max_batch,
         }
 
+    def traffic_rows(self) -> List[Dict[str, Any]]:
+        """Per-node admission-plane rows (sorted by node tag)."""
+        span = self.duration
+        now = self.t_max
+        rows = []
+        for tag in sorted(self.traffic, key=_node_sort_key):
+            tr = self.traffic[tag]
+            rows.append(
+                {
+                    "node": tag,
+                    "offered": tr.offered,
+                    "admitted": tr.admitted,
+                    "shed": tr.shed,
+                    "shed_rate": tr.shed / tr.offered if tr.offered else 0.0,
+                    "offered_rate": tr.offered / span if span > 0 else 0.0,
+                    "mean_depth": tr.depth.average(now),
+                    "max_depth": tr.depth_max,
+                    "p95_depth": _percentile(list(tr.depth_windows.values()), 95.0),
+                }
+            )
+        return rows
+
+    def traffic_summary(self) -> Dict[str, Any]:
+        """Cluster-wide admission-plane totals (open-loop runs only)."""
+        span = self.duration
+        offered = sum(tr.offered for tr in self.traffic.values())
+        admitted = sum(tr.admitted for tr in self.traffic.values())
+        shed = sum(tr.shed for tr in self.traffic.values())
+        committed = sum(n.commits for n in self.nodes.values())
+        depths = [
+            d for tr in self.traffic.values() for d in tr.depth_windows.values()
+        ]
+        return {
+            "offered": offered,
+            "admitted": admitted,
+            "shed": shed,
+            "committed": committed,
+            "offered_rate": offered / span if span > 0 else 0.0,
+            "admitted_rate": admitted / span if span > 0 else 0.0,
+            "committed_rate": committed / span if span > 0 else 0.0,
+            "shed_rate": shed / offered if offered else 0.0,
+            "p95_depth": _percentile(depths, 95.0),
+            "nodes": self.traffic_rows(),
+            "phases": [
+                {"t": t, "name": name, "rate_scale": scale}
+                for t, name, scale in self.phases
+            ],
+        }
+
     def snapshot(self, now: Optional[float] = None) -> Dict[str, Any]:
         """One JSON-able summary of everything tracked."""
-        return {
+        out = {
             "window": self.window,
             "events": self.events,
             "t_min": self.t_min or 0.0,
@@ -270,6 +369,20 @@ class SeriesTracker:
             "batching": self.batch_row(),
             "faults": len(self.faults) + self.faults_dropped,
         }
+        # Only open-loop runs emit traffic.* events; keeping the key out
+        # otherwise leaves every existing snapshot byte-identical.
+        if self.traffic or self.phases:
+            out["traffic"] = self.traffic_summary()
+        return out
+
+
+def _percentile(values: List[float], q: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, int(-(-len(ordered) * q // 100)))  # ceil(n * q / 100)
+    return float(ordered[min(rank, len(ordered)) - 1])
 
 
 def _node_sort_key(tag: str) -> Tuple[int, str]:

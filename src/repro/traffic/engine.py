@@ -1,0 +1,299 @@
+"""The open-loop executor: arrival-driven transaction injection.
+
+The closed-loop :class:`~repro.core.executor.WorkloadExecutor` runs a
+fixed worker population — offered load adapts to service rate and the
+system can never be pushed past saturation.  This executor replaces the
+worker pool's *demand* side with an arrival plane:
+
+* one arrival process per node (seeded streams ``traffic.arrivals[n]``
+  / ``traffic.ops[n]``) injects transactions open-loop at the configured
+  rate, split evenly across nodes;
+* arrivals land in bounded per-node :class:`~repro.traffic.admission.
+  AdmissionQueue`\\ s; full queues shed per policy;
+* ``service_workers`` dispatcher processes per node drain the queue
+  through the normal atomic runner (scheduler, TFA, faults and RPC all
+  unchanged — the traffic plane composes with every existing layer);
+* a :class:`~repro.traffic.stability.StabilityMonitor` integrates queue
+  depth into windows, and the run ends with a ``stable: true/false``
+  verdict plus arrival/latency accounting in the experiment extras;
+* an optional :class:`~repro.traffic.scenarios.Scenario` retargets rate
+  and popularity at exact simulated timestamps mid-run.
+
+Latency here is the *sojourn* time — arrival to commit, queueing
+included — which is the number an SLO cares about and the one
+closed-loop runs cannot measure.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional
+
+from repro.core.api import run_root
+from repro.dstm.errors import AbortReason, TransactionAborted
+from repro.sim.monitor import Tally
+from repro.traffic.admission import AdmissionQueue
+from repro.traffic.arrivals import make_process
+from repro.traffic.popularity import PopularityModel
+from repro.traffic.scenarios import Scenario, make_scenario
+from repro.traffic.stability import StabilityMonitor, stability_verdict
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.cluster import Cluster
+    from repro.core.config import ArrivalConfig
+    from repro.workloads.base import Workload
+
+__all__ = ["OpenLoopExecutor"]
+
+
+class OpenLoopExecutor:
+    """Runs a workload under an open-loop arrival process."""
+
+    def __init__(
+        self,
+        cluster: "Cluster",
+        workload: "Workload",
+        arrival: "ArrivalConfig",
+        service_workers: int = 2,
+        horizon: Optional[float] = 20.0,
+        max_attempts_per_tx: Optional[int] = 64,
+    ) -> None:
+        if horizon is None or horizon <= 0:
+            raise ValueError("open-loop runs need a positive horizon")
+        if service_workers < 1:
+            raise ValueError(f"service_workers must be >= 1, got {service_workers}")
+        self.cluster = cluster
+        self.workload = workload
+        self.arrival = arrival
+        self.service_workers = service_workers
+        self.horizon = float(horizon)
+        self.max_attempts_per_tx = max_attempts_per_tx
+
+        self.scenario: Optional[Scenario] = (
+            make_scenario(arrival.scenario, self.horizon)
+            if arrival.scenario is not None else None
+        )
+        self.popularity: Optional[PopularityModel] = None
+        if (
+            arrival.zipf_s > 0
+            or arrival.hotspot_period is not None
+            or self.scenario is not None
+        ):
+            self.popularity = PopularityModel(
+                s=arrival.zipf_s, hotspot_period=arrival.hotspot_period
+            )
+
+        #: current scenario state (retargeted at phase boundaries)
+        self.rate_scale = 1.0
+        self.phase_name = (
+            self.scenario.phases[0].name if self.scenario is not None else "steady"
+        )
+
+        self.queues: List[AdmissionQueue] = []
+        self.monitor: Optional[StabilityMonitor] = None
+        self.abandoned = 0
+        self.backlog = 0
+        #: arrival→commit sojourn latency (queueing included)
+        self.latency = Tally("traffic.latency", keep_samples=True)
+        self._phase_latency: Dict[str, Tally] = {}
+        self._stop = False
+        self._start = 0.0
+        self._t_end = 0.0
+
+    # ------------------------------------------------------------------
+
+    def setup(self) -> None:
+        """Create shared objects and install the popularity model."""
+        cluster = self.cluster
+        self.workload.setup(cluster, cluster.rngs.stream("workload.setup"))
+        if self.popularity is not None:
+            self.workload.popularity = self.popularity
+            self.workload.clock = lambda: cluster.env.now
+
+    # -- simulation processes --------------------------------------------
+
+    def _per_node_rate(self) -> float:
+        return (self.arrival.rate / self.cluster.num_nodes) * self.rate_scale
+
+    def _arrivals(self, node: int) -> Generator[Any, Any, None]:
+        cluster = self.cluster
+        env = cluster.env
+        cfg = self.arrival
+        rng = cluster.rngs.stream(f"traffic.arrivals[{node}]")
+        op_rng = cluster.rngs.stream(f"traffic.ops[{node}]")
+        process = make_process(
+            cfg.process, rng,
+            burst_factor=cfg.burst_factor, on_fraction=cfg.on_fraction,
+            mean_cycle=cfg.mean_cycle, trace=cfg.trace,
+            node=node, num_nodes=cluster.num_nodes,
+        )
+        tracer = cluster.tracer
+        queue = self.queues[node]
+        while True:
+            dt = process.next_interval(env.now - self._start, self._per_node_rate())
+            if dt is None:       # trace exhausted
+                return
+            yield env.timeout(dt)
+            if self._stop or env.now >= self._t_end:
+                return
+            op = self.workload.make_op(node, op_rng)
+            admitted = queue.offer((env.now, self.phase_name, op))
+            if tracer.wants("traffic.arrival"):
+                tracer.emit(
+                    env.now, "traffic.arrival", f"n{node}",
+                    node=f"n{node}", admitted=admitted, phase=self.phase_name,
+                )
+
+    def _scenario_proc(self) -> Generator[Any, Any, None]:
+        assert self.scenario is not None
+        env = self.cluster.env
+        tracer = self.cluster.tracer
+        for phase in self.scenario.phases:
+            delay = self._start + phase.at - env.now
+            if delay > 0:
+                yield env.timeout(delay)
+            if self._stop:
+                return
+            self.phase_name = phase.name
+            self.rate_scale = phase.rate_scale
+            if self.popularity is not None:
+                if phase.zipf_s is not None:
+                    self.popularity.set_skew(phase.zipf_s)
+                if phase.hotspot_shift is not None:
+                    self.popularity.set_hotspot_shift(phase.hotspot_shift)
+            if tracer.wants("traffic.phase"):
+                tracer.emit(
+                    env.now, "traffic.phase", self.scenario.name,
+                    name=phase.name, rate_scale=phase.rate_scale,
+                )
+
+    def _dispatcher(self, node: int, worker_idx: int) -> Generator[Any, Any, None]:
+        cluster = self.cluster
+        env = cluster.env
+        engine = cluster.engines[node]
+        queue = self.queues[node]
+        while True:
+            item = yield from queue.get()
+            if item is None:
+                return
+            arrived_at, phase, op = item
+            try:
+                yield from run_root(
+                    cluster, engine, op.body, op.args,
+                    profile=op.profile,
+                    max_attempts=self.max_attempts_per_tx,
+                )
+                sojourn = env.now - arrived_at
+                self.latency.observe(sojourn)
+                tally = self._phase_latency.get(phase)
+                if tally is None:
+                    tally = Tally(f"traffic.latency.{phase}", keep_samples=True)
+                    self._phase_latency[phase] = tally
+                tally.observe(sojourn)
+            except TransactionAborted as abort:
+                if abort.reason is not AbortReason.USER_ABORT:
+                    self.abandoned += 1
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> "OpenLoopExecutor":
+        """Arrivals for ``horizon`` seconds, then drain in-flight work."""
+        cluster = self.cluster
+        env = cluster.env
+        self._start = env.now
+        self._t_end = env.now + self.horizon
+        cluster.metrics.window_start = env.now
+
+        cfg = self.arrival
+        self.queues = [
+            AdmissionQueue(
+                env, node, cfg.queue_capacity,
+                policy=cfg.shed_policy, tracer=cluster.tracer,
+            )
+            for node in range(cluster.num_nodes)
+        ]
+        self.monitor = StabilityMonitor(env, self.queues, cfg.stability_window)
+        env.process(self.monitor.run(), name="traffic.monitor")
+        if self.scenario is not None:
+            env.process(self._scenario_proc(), name="traffic.scenario")
+        for node in range(cluster.num_nodes):
+            env.process(self._arrivals(node), name=f"traffic.arrivals[{node}]")
+        dispatchers = []
+        for node in range(cluster.num_nodes):
+            for w in range(self.service_workers):
+                dispatchers.append(
+                    env.process(
+                        self._dispatcher(node, w), name=f"dispatch[{node}][{w}]"
+                    )
+                )
+
+        env.run(until=self._t_end)
+        self._stop = True
+        if self.monitor is not None:
+            self.monitor.stop()
+        self.backlog = sum(q.close() for q in self.queues)
+        # Drain in-flight transactions; the backlog stays unserved (it is
+        # the instability evidence, not extra work to launder away).
+        env.run(until=env.all_of(dispatchers))
+        cluster.metrics.window_end = env.now
+        return self
+
+    # -- results ---------------------------------------------------------
+
+    @property
+    def metrics(self):
+        return self.cluster.metrics
+
+    def throughput(self) -> float:
+        """Committed transactions per second of *offered* window (goodput)."""
+        return self.cluster.metrics.commits.value / self.horizon
+
+    @property
+    def offered(self) -> int:
+        return sum(q.offered for q in self.queues)
+
+    @property
+    def admitted(self) -> int:
+        return sum(q.admitted for q in self.queues)
+
+    @property
+    def shed(self) -> int:
+        return sum(q.shed for q in self.queues)
+
+    def traffic_summary(self) -> Dict[str, Any]:
+        """Open-loop extras for :class:`~repro.core.experiment.ExperimentResult`."""
+        offered = self.offered
+        shed = self.shed
+        shed_rate = shed / offered if offered else 0.0
+        assert self.monitor is not None, "run() before traffic_summary()"
+        verdict = stability_verdict(self.monitor.window_means, shed_rate)
+        mean_depth = sum(
+            q.depth.average(self._t_end) for q in self.queues
+        )
+        out: Dict[str, Any] = {
+            "offered": offered,
+            "offered_rate": offered / self.horizon,
+            "admitted": self.admitted,
+            "shed": shed,
+            "shed_rate": shed_rate,
+            "backlog": self.backlog,
+            "stable": bool(verdict["stable"]),
+            "stability": verdict,
+            "queue_depth_mean": mean_depth,
+            "queue_depth_windows": [round(m, 6) for m in self.monitor.window_means],
+        }
+        if self.latency.count:
+            out["latency_mean"] = self.latency.mean
+            out["latency_p50"] = self.latency.percentile(50.0)
+            out["latency_p95"] = self.latency.percentile(95.0)
+            out["latency_p99"] = self.latency.percentile(99.0)
+        if self._phase_latency:
+            out["latency_by_phase"] = {
+                name: {
+                    "count": tally.count,
+                    "p50": tally.percentile(50.0),
+                    "p95": tally.percentile(95.0),
+                    "p99": tally.percentile(99.0),
+                }
+                for name, tally in sorted(self._phase_latency.items())
+            }
+        return out

@@ -120,7 +120,7 @@ class BankWorkload(Workload):
 
     def make_write_op(self, node: int, rng: np.random.Generator) -> Op:
         num_legs = min(int(rng.integers(1, self.max_legs + 1)), len(self.accounts) // 2)
-        picks = rng.choice(len(self.accounts), 2 * num_legs, replace=False)
+        picks = self.pick_indices(rng, len(self.accounts), 2 * num_legs, replace=False)
         legs = [
             (
                 self.accounts[picks[2 * i]],
@@ -138,7 +138,10 @@ class BankWorkload(Workload):
 
     def make_read_op(self, node: int, rng: np.random.Generator) -> Op:
         k = min(self.balance_sample, len(self.accounts))
-        sample = [self.accounts[i] for i in rng.choice(len(self.accounts), k, replace=False)]
+        sample = [
+            self.accounts[i]
+            for i in self.pick_indices(rng, len(self.accounts), k, replace=False)
+        ]
         return Op(
             body=total_balance,
             args=(sample,),

@@ -61,6 +61,32 @@ class Workload(abc.ABC):
             raise ValueError(f"read_fraction must be in [0, 1], got {read_fraction}")
         self.read_fraction = float(read_fraction)
         self._setup_done = False
+        #: optional repro.traffic PopularityModel; installed by the
+        #: open-loop executor, None under closed loop (byte-identical path)
+        self.popularity = None
+        #: simulation clock for the popularity model's moving hotspot
+        self.clock: Callable[[], float] = lambda: 0.0
+
+    # -- object selection (popularity-aware) ----------------------------
+
+    def pick_indices(
+        self, rng: np.random.Generator, n: int, size: int, replace: bool = True
+    ) -> np.ndarray:
+        """Draw ``size`` object indices from [0, n).
+
+        Uniform (the exact pre-traffic draw, byte-for-byte) unless a
+        popularity model is installed, in which case selection is
+        Zipf-skewed around the current hotspot.
+        """
+        if self.popularity is None:
+            return rng.choice(n, size, replace=replace)
+        return self.popularity.pick_many(rng, n, size, self.clock(), replace=replace)
+
+    def pick_key(self, rng: np.random.Generator, n: int) -> int:
+        """Draw one key from [0, n) (uniform unless popularity-skewed)."""
+        if self.popularity is None:
+            return int(rng.integers(0, n))
+        return self.popularity.pick(rng, n, self.clock())
 
     # ------------------------------------------------------------------
 

@@ -180,7 +180,7 @@ class BstWorkload(Workload):
     # ------------------------------------------------------------------
 
     def _key(self, rng: np.random.Generator) -> int:
-        return int(rng.integers(0, self.key_space))
+        return self.pick_key(rng, self.key_space)
 
     def make_write_op(self, node: int, rng: np.random.Generator) -> Op:
         key = self._key(rng)

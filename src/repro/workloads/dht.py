@@ -102,10 +102,17 @@ class DhtWorkload(Workload):
     # ------------------------------------------------------------------
 
     def _draw(self, rng: np.random.Generator, n: int) -> List[str]:
-        idx = zipf_choice(
-            rng, len(self.buckets), self.skew,
-            size=min(n, len(self.buckets)), replace=False,
-        )
+        size = min(n, len(self.buckets))
+        if self.popularity is not None:
+            # Open-loop runs: the traffic plane's (possibly time-varying)
+            # popularity replaces the workload's static skew.
+            idx = self.popularity.pick_many(
+                rng, len(self.buckets), size, self.clock(), replace=False
+            )
+        else:
+            idx = zipf_choice(
+                rng, len(self.buckets), self.skew, size=size, replace=False
+            )
         return [self.buckets[i] for i in idx]
 
     def _key(self, rng: np.random.Generator) -> str:

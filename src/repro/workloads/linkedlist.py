@@ -136,8 +136,8 @@ class LinkedListWorkload(Workload):
     # ------------------------------------------------------------------
 
     def _pick(self, rng: np.random.Generator) -> Tuple[str, int]:
-        prefix = self.prefixes[int(rng.integers(0, len(self.prefixes)))]
-        key = int(rng.integers(0, self.key_space))
+        prefix = self.prefixes[self.pick_key(rng, len(self.prefixes))]
+        key = self.pick_key(rng, self.key_space)
         return prefix, key
 
     def make_write_op(self, node: int, rng: np.random.Generator) -> Op:

@@ -146,11 +146,11 @@ class VacationWorkload(Workload):
         picks = []
         for kind in RESOURCE_KINDS:
             rows = self.resources[kind]
-            picks.append(rows[int(rng.integers(0, len(rows)))])
+            picks.append(rows[self.pick_key(rng, len(rows))])
         return picks
 
     def make_write_op(self, node: int, rng: np.random.Generator) -> Op:
-        customer = self.customers[int(rng.integers(0, len(self.customers)))]
+        customer = self.customers[self.pick_key(rng, len(self.customers))]
         if rng.random() < 0.75:
             return Op(
                 make_reservation,
@@ -163,6 +163,6 @@ class VacationWorkload(Workload):
     def make_read_op(self, node: int, rng: np.random.Generator) -> Op:
         all_rows = [oid for rows in self.resources.values() for oid in rows]
         k = min(self.query_size, len(all_rows))
-        idx = rng.choice(len(all_rows), size=k, replace=False)
+        idx = self.pick_indices(rng, len(all_rows), k, replace=False)
         sample = [all_rows[i] for i in idx]
         return Op(query_availability, (sample,), "vacation.query", is_read=True)

@@ -47,6 +47,56 @@ class TestRowFormatting:
         assert row["abandoned"] == 2 and row["note"] == "x"
 
 
+#: the extras an open-loop (repro.traffic) run attaches
+SERVING_EXTRA = {
+    "abandoned": 0,
+    "offered": 318,
+    "offered_rate": 39.7512345,
+    "admitted": 305,
+    "shed": 13,
+    "shed_rate": 0.04088050,
+    "backlog": 244,
+    "stable": False,
+    "stability": {"stable": False, "reason": "divergent",
+                  "head_depth": 66.5365258, "tail_depth": 187.1317554,
+                  "shed_rate": 0.04088050},
+    "queue_depth_windows": [12.381226, 52.874826],
+    "latency_p99": 7.9086581,
+}
+
+
+class TestServingExtras:
+    def test_row_keeps_stable_as_bool(self):
+        """row() rounds floats but must not mangle the stability verdict
+        (bool is an int subclass — an easy casualty of naive rounding)."""
+        row = make_result(extra=dict(SERVING_EXTRA)).row()
+        assert row["stable"] is False
+        assert row["stability"]["stable"] is False
+        assert row["offered"] == 318
+
+    def test_row_rounds_serving_floats(self):
+        row = make_result(extra=dict(SERVING_EXTRA)).row()
+        assert row["offered_rate"] == 39.7512
+        assert row["shed_rate"] == 0.0409
+        assert row["stability"]["tail_depth"] == 187.1318
+        assert row["queue_depth_windows"] == [12.3812, 52.8748]
+
+    def test_serving_round_trip_is_exact(self):
+        result = make_result(extra=dict(SERVING_EXTRA))
+        restored = ExperimentResult.from_dict(result.to_dict())
+        assert restored == result
+        assert restored.extra["offered_rate"] == 39.7512345
+        assert restored.extra["stable"] is False
+
+    def test_serving_json_round_trip(self):
+        """Through JSON (the repro.par cache and BENCH_SERVING.json
+        encoding) the verdict and counters survive exactly."""
+        result = make_result(extra=dict(SERVING_EXTRA))
+        data = json.loads(json.dumps(result.to_dict()))
+        restored = ExperimentResult.from_dict(data)
+        assert restored.extra == result.extra
+
+
 class TestDictRoundTrip:
     def test_to_dict_from_dict_identity(self):
         result = make_result(extra={"abandoned": 2, "rpc_cache_hits": 7})

@@ -51,6 +51,47 @@ class TestSummarize:
             list(load_events(str(path)))
 
 
+@pytest.fixture(scope="module")
+def serving_log(tmp_path_factory):
+    """One open-loop traced run: traffic.* events feed the report."""
+    from repro.core.config import ArrivalConfig
+
+    path = tmp_path_factory.mktemp("obs") / "serving.jsonl"
+    cfg = ClusterConfig(
+        num_nodes=4, seed=7,
+        obs=ObsConfig(enabled=True, jsonl_path=str(path)),
+        arrival=ArrivalConfig(enabled=True, rate=20.0,
+                              scenario="flash-crowd"),
+    )
+    result = run_experiment("bank", cfg, read_fraction=0.5,
+                            workers_per_node=2, horizon=4.0)
+    assert result.extra["offered"] > 0
+    return path
+
+
+class TestOpenLoopSection:
+    def test_closed_loop_report_has_no_traffic_section(self, run_log):
+        summary = summarize(load_events(str(run_log)))
+        assert "traffic" not in summary
+        assert "## open-loop traffic" not in render(summary)
+
+    def test_traffic_section_renders(self, serving_log):
+        summary = summarize(load_events(str(serving_log)), validate=True)
+        traffic = summary["traffic"]
+        assert traffic["offered"] == traffic["admitted"] + traffic["shed"]
+        text = render(summary)
+        assert "## open-loop traffic" in text
+        assert "offered" in text and "phases" in text
+
+    def test_render_is_byte_deterministic(self, serving_log):
+        """Two independent load->summarize->render passes over the same
+        log must produce identical bytes (tables and the traffic section
+        included) — the contract that makes reports diffable."""
+        first = render(summarize(load_events(str(serving_log))))
+        second = render(summarize(load_events(str(serving_log))))
+        assert first.encode() == second.encode()
+
+
 class TestCli:
     def test_main_renders_tables(self, run_log, capsys):
         assert main([str(run_log), "--validate"]) == 0

@@ -1,0 +1,67 @@
+"""The shared bench CLI: --arrival/--zipf parsing and rejection rules."""
+
+import argparse
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", ".."))
+
+from benchmarks.conftest import add_traffic_args, arrival_from_args  # noqa: E402
+
+
+def _parse(argv):
+    parser = argparse.ArgumentParser()
+    add_traffic_args(parser)
+    args = parser.parse_args(argv)
+    return arrival_from_args(args, parser)
+
+
+class TestParsing:
+    def test_no_flags_means_closed_loop(self):
+        assert _parse([]) is None
+
+    def test_poisson(self):
+        arrival = _parse(["--arrival", "poisson:40"])
+        assert arrival.enabled is True
+        assert arrival.process == "poisson"
+        assert arrival.rate == 40.0
+
+    def test_mmpp_with_burst(self):
+        arrival = _parse(["--arrival", "mmpp:25:6"])
+        assert arrival.process == "mmpp"
+        assert arrival.rate == 25.0
+        assert arrival.burst_factor == 6.0
+
+    def test_modifiers_flow_through(self):
+        arrival = _parse([
+            "--arrival", "poisson:10", "--zipf", "1.5",
+            "--scenario", "flash-crowd", "--queue-capacity", "16",
+            "--shed-policy", "drop-oldest",
+        ])
+        assert arrival.zipf_s == 1.5
+        assert arrival.scenario == "flash-crowd"
+        assert arrival.queue_capacity == 16
+        assert arrival.shed_policy == "drop-oldest"
+
+
+class TestRejection:
+    def test_zipf_without_arrival_rejected(self):
+        with pytest.raises(SystemExit):
+            _parse(["--zipf", "1.5"])
+
+    def test_scenario_without_arrival_rejected(self):
+        with pytest.raises(SystemExit):
+            _parse(["--scenario", "diurnal"])
+
+    @pytest.mark.parametrize("spec", [
+        "poisson", "poisson:fast", "uniform:10", "mmpp:10:4:9", "poisson:10:4",
+    ])
+    def test_malformed_arrival_rejected(self, spec):
+        with pytest.raises(SystemExit):
+            _parse(["--arrival", spec])
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            _parse(["--arrival", "poisson:10", "--scenario", "nope"])
