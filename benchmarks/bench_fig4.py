@@ -91,6 +91,11 @@ def main(argv=None) -> int:
                              "with `python -m repro.obs.report RUN.JSONL`")
     parser.add_argument("--chrome-out", metavar="TRACE.JSON", default=None,
                         help="export a Chrome trace_event file (Perfetto)")
+    parser.add_argument("--profile", action="store_true",
+                        help="kernel-profile the largest cell (counters "
+                             "mode; timeline unchanged) and print top sites")
+    parser.add_argument("--profile-folded", metavar="OUT.FOLDED", default=None,
+                        help="with --profile: write folded flamegraph stacks")
     add_traffic_args(parser)
     add_par_args(parser)
     args = parser.parse_args(argv)
@@ -108,6 +113,9 @@ def main(argv=None) -> int:
         if nodes == traced and (args.trace_out or args.chrome_out):
             kwargs["obs"] = dict(enabled=True, jsonl_path=args.trace_out,
                                  chrome_path=args.chrome_out)
+        if nodes == traced and (args.profile or args.profile_folded):
+            kwargs["prof"] = dict(enabled=True,
+                                  folded_path=args.profile_folded)
         specs.append(cell_spec(args.workload, args.scheduler, 0.9,
                                nodes=nodes, seed=args.seed, **kwargs))
     sweep = run_cells(specs, jobs=args.jobs, cache_dir=args.cache_dir)
@@ -147,6 +155,18 @@ def main(argv=None) -> int:
               f"(python -m repro.obs.report {args.trace_out})")
     if args.chrome_out:
         print(f"chrome trace: {args.chrome_out} (load in Perfetto)")
+    if args.profile or args.profile_folded:
+        for outcome in sweep.in_spec_order():
+            snap = outcome.result.extra.get("prof")
+            if not snap:
+                continue
+            print(f"\nkernel profile ({snap['events']} events, "
+                  f"{snap['mode']}, {snap['sites']} sites):")
+            for row in snap["top"]:
+                print(f"  {row['event']:<10} {row['site']:<28} "
+                      f"{row['count']:>10,}")
+        if args.profile_folded:
+            print(f"folded stacks: {args.profile_folded}")
     return 0
 
 

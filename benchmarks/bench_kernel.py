@@ -18,12 +18,19 @@ Usage::
     python benchmarks/bench_kernel.py --procs 200 --events 400000
     python benchmarks/bench_kernel.py --min-eps 100000   # CI floor
     python benchmarks/bench_kernel.py --json out.json    # machine-readable
+    python benchmarks/bench_kernel.py --profile --folded kernel.folded
     pytest benchmarks/bench_kernel.py                 # smoke assertions
+
+``--json`` output is trajectory-ready: it carries the bench id, date,
+git SHA and host fingerprint, so ``python -m repro.prof.trend append``
+can record it into BENCH_HISTORY.jsonl directly.
 """
 
 import argparse
 import json
 import os
+import platform
+import subprocess
 import sys
 import time
 
@@ -65,7 +72,7 @@ def _anyof_race(env):
         yield ev | deadline
 
 
-def _drive(build, procs, events):
+def _drive(build, procs, events, profiler=None):
     """Run ~``events`` kernel events through ``procs`` processes.
 
     Returns host-side events/sec.  The run is cut off by the kernel's
@@ -73,6 +80,8 @@ def _drive(build, procs, events):
     here, and ``events_processed`` stays exact across it.
     """
     env = Environment()
+    if profiler is not None:
+        profiler.install(env)
     for i in range(procs):
         env.process(build(env, i), name=f"w{i}")
     start = time.perf_counter()
@@ -84,17 +93,17 @@ def _drive(build, procs, events):
     return env.events_processed / elapsed if elapsed > 0 else 0.0
 
 
-def bench_timeout_chain(procs, events):
+def bench_timeout_chain(procs, events, profiler=None):
     return _drive(lambda env, i: _timeout_chain(env, 0.001 * (1 + i % 7)),
-                  procs, events)
+                  procs, events, profiler)
 
 
-def bench_event_wakeup(procs, events):
-    return _drive(lambda env, i: _event_wakeup(env), procs, events)
+def bench_event_wakeup(procs, events, profiler=None):
+    return _drive(lambda env, i: _event_wakeup(env), procs, events, profiler)
 
 
-def bench_anyof_race(procs, events):
-    return _drive(lambda env, i: _anyof_race(env), procs, events)
+def bench_anyof_race(procs, events, profiler=None):
+    return _drive(lambda env, i: _anyof_race(env), procs, events, profiler)
 
 
 WORKLOADS = {
@@ -125,6 +134,28 @@ def test_all_workloads_complete():
 # ---------------------------------------------------------------------------
 
 
+def host_fingerprint():
+    """Host metadata for trajectory rows (BENCH_PAR.json's host shape)."""
+    return {
+        "os_cpu_count": os.cpu_count() or 1,
+        "python": platform.python_version(),
+    }
+
+
+def git_sha():
+    """Short HEAD SHA, or None outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except OSError:
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--procs", type=int, default=DEFAULT_PROCS,
@@ -139,19 +170,45 @@ def main(argv=None) -> int:
                              "tripwire for CI")
     parser.add_argument("--json", metavar="OUT.JSON", default=None,
                         help="also write per-workload events/sec as JSON "
-                             "(the BENCH_PAR.json recording path)")
+                             "(trajectory-ready for repro.prof.trend)")
+    parser.add_argument("--profile", action="store_true",
+                        help="attribute the run with the kernel profiler "
+                             "(wall mode) and print the top sites")
+    parser.add_argument("--folded", metavar="OUT.FOLDED", default=None,
+                        help="with --profile: write folded flamegraph stacks")
     args = parser.parse_args(argv)
+
+    profiler = None
+    if args.profile or args.folded:
+        from repro.prof import KernelProfiler
+
+        profiler = KernelProfiler(wall=True)
 
     names = [args.workload] if args.workload else list(WORKLOADS)
     print(f"kernel microbenchmark: {args.procs} procs, "
-          f"{args.events} events per workload")
+          f"{args.events} events per workload"
+          + (" [profiled]" if profiler else ""))
     measured = {}
     for name in names:
-        eps = WORKLOADS[name](args.procs, args.events)
+        eps = WORKLOADS[name](args.procs, args.events, profiler)
         measured[name] = round(eps)
         print(f"  {name:<16} {eps:>12,.0f} events/s")
+    if profiler is not None:
+        snap = profiler.snapshot()
+        print(f"\nkernel profile ({snap['events']} events, {snap['mode']}):")
+        for row in snap["top"]:
+            wall = f" {row['wall_us']:>10,}us" if "wall_us" in row else ""
+            print(f"  {row['event']:<10} {row['site']:<24} "
+                  f"{row['count']:>10,}{wall}")
+        if args.folded:
+            profiler.write_folded(args.folded)
+            print(f"folded stacks written to {args.folded}")
     if args.json:
-        payload = {"procs": args.procs, "events": args.events,
+        payload = {"bench": "bench_kernel",
+                   "date": time.strftime("%Y-%m-%d"),
+                   "git_sha": git_sha(),
+                   "host": host_fingerprint(),
+                   "procs": args.procs, "events": args.events,
                    "events_per_sec": measured}
         with open(args.json, "w") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)

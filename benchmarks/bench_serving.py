@@ -27,7 +27,7 @@ if __package__ in (None, ""):  # executed as a script: self-locate
     sys.path.insert(0, os.path.join(_root, "src"))
     sys.path.insert(0, _root)
 
-from benchmarks.conftest import BENCH_SEED, cell_spec, run_cell
+from benchmarks.conftest import BENCH_SEED, BENCH_WORKERS, cell_spec, run_cell
 from repro.par import add_par_args, run_cells
 from repro.traffic import max_sustainable_rate
 
@@ -145,10 +145,61 @@ def _print_table(rows):
               f"{'stable' if r['stable'] else 'UNSTABLE'} ({r['verdict']})")
 
 
+def _profile_saturation(stable_rates, nodes, seed, horizon):
+    """Attribute the p99 sojourn at the highest stable rate per scheduler.
+
+    Reruns one cell per scheduler with observability on (spans to a
+    temporary JSONL) and prints the latency-anatomy decomposition of the
+    slowest 1% of committed chains — where tail time actually goes as
+    the cluster approaches saturation.
+    """
+    import tempfile
+
+    from repro.core.config import ClusterConfig, SchedulerKind
+    from repro.core.experiment import run_experiment
+    from repro.obs.report import load_events, summarize
+    from repro.prof import SEGMENTS
+
+    print("\np99 sojourn anatomy (highest stable offered rate per scheduler):")
+    for sched in SCHEDULERS:
+        rate = stable_rates.get(sched)
+        if rate is None:
+            print(f"  {sched:>5}: no stable cell on the rate axis")
+            continue
+        with tempfile.TemporaryDirectory() as td:
+            jsonl = os.path.join(td, f"{sched}.jsonl")
+            cfg = ClusterConfig(
+                num_nodes=nodes, seed=seed, scheduler=SchedulerKind(sched),
+                cl_threshold=4, arrival=_arrival(rate),
+                obs=dict(enabled=True, jsonl_path=jsonl),
+            )
+            run_experiment(
+                SERVING_WORKLOAD, cfg, read_fraction=SERVING_READ_FRACTION,
+                workers_per_node=BENCH_WORKERS, horizon=horizon,
+            )
+            summary = summarize(load_events(jsonl))
+        anatomy = summary.get("anatomy") or {}
+        if not anatomy.get("roots"):
+            print(f"  {sched:>5} @ {rate:.1f} tx/s: no committed chains")
+            continue
+        p99 = anatomy["p99_segments"]
+        shares = "  ".join(
+            f"{name} {p99[name] * 100:.0f}%"
+            for name in SEGMENTS if p99[name] >= 0.005
+        )
+        print(f"  {sched:>5} @ {rate:.1f} tx/s: "
+              f"p99 sojourn {anatomy['p99_sojourn'] * 1e3:.1f}ms "
+              f"({anatomy['p99_chains']} tail chains): {shares}")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
                         help="tiny rate x nodes grid, no bisection (CI)")
+    parser.add_argument("--profile", action="store_true",
+                        help="rerun the highest stable cell per scheduler "
+                             "with observability on and print the p99 "
+                             "latency anatomy")
     parser.add_argument("--rates", default=None,
                         help="comma list of offered rates (tx/s)")
     parser.add_argument("--nodes", type=int, default=SERVING_NODES)
@@ -192,6 +243,14 @@ def main(argv=None) -> int:
     if missing:
         print(f"FAIL: {len(missing)} cells without a stability verdict")
         return 1
+
+    if args.profile:
+        stable_rates = {}
+        for (sched, rate, nodes), row in zip(grid, rows):
+            if row["stable"] and (nodes == args.nodes):
+                if rate > stable_rates.get(sched, float("-inf")):
+                    stable_rates[sched] = rate
+        _profile_saturation(stable_rates, args.nodes, args.seed, horizon)
 
     payload = {
         "workload": SERVING_WORKLOAD,

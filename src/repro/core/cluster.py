@@ -56,6 +56,17 @@ class Cluster:
         self.env = Environment()
         self.rngs = RngRegistry(seed=config.seed)
 
+        # Kernel profiler (repro.prof).  Strictly additive: with the
+        # default ProfConfig(enabled=False) no profiler exists and the
+        # run loop pays one is-not-None guard; enabled, it only counts
+        # (timeline unchanged — tests/rpc/test_equivalence.py pins it).
+        pc = config.prof
+        self.profiler: Optional[Any] = None
+        if pc.enabled:
+            from repro.prof import KernelProfiler
+
+            self.profiler = KernelProfiler(wall=pc.wall).install(self.env)
+
         # Observability (repro.obs).  Strictly additive like faults: the
         # default ObsConfig(enabled=False) builds no recorder and leaves
         # the tracer exactly as trace/trace_categories configure it.

@@ -22,6 +22,7 @@ __all__ = [
     "ClusterConfig",
     "FaultConfig",
     "ObsConfig",
+    "ProfConfig",
     "RpcConfig",
     "SchedulerKind",
 ]
@@ -245,6 +246,36 @@ class CheckConfig:
 
 
 @dataclass(frozen=True)
+class ProfConfig:
+    """Parameterisation of the kernel profiler (``repro.prof``).
+
+    With ``enabled=False`` (the default) the cluster builds no profiler
+    and ``Environment.run`` pays exactly one ``is not None`` guard —
+    byte-identical to a build without the hook (strictly additive, same
+    pattern as ``faults``/``obs``/``check``).  With ``enabled=True`` a
+    :class:`~repro.prof.KernelProfiler` counts every processed kernel
+    event by ``(event kind, consumer site)``; counting never touches the
+    schedule, so the simulated timeline stays byte-identical (pinned by
+    ``tests/rpc/test_equivalence.py``).  ``wall=True`` additionally
+    meters host nanoseconds per callback — still timeline-identical,
+    but the recorded values are host-dependent.
+    """
+
+    enabled: bool = False
+    #: also meter host wall-clock per callback (attribution only; the
+    #: values are reported, never scheduled)
+    wall: bool = False
+    #: write a folded-stack flamegraph file at the end of the run
+    folded_path: Optional[str] = None
+    #: write a Chrome trace_event (Perfetto-loadable) overlay here
+    chrome_path: Optional[str] = None
+
+    def replace(self, **changes) -> "ProfConfig":
+        """A modified copy (sugar over :func:`dataclasses.replace`)."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
 class ArrivalConfig:
     """Parameterisation of the open-loop traffic plane (``repro.traffic``).
 
@@ -421,6 +452,9 @@ class ClusterConfig:
     #: runtime invariant sanitizer; disabled by default and strictly
     #: additive like ``faults``/``obs``
     check: CheckConfig = CheckConfig()
+    #: kernel profiler (repro.prof); disabled by default and strictly
+    #: additive — the run loop pays one guard, the timeline is unchanged
+    prof: ProfConfig = ProfConfig()
 
     def replace(self, **changes) -> "ClusterConfig":
         """A modified copy (sugar over :func:`dataclasses.replace`)."""
@@ -450,3 +484,5 @@ class ClusterConfig:
             object.__setattr__(self, "obs", ObsConfig(**self.obs))
         if isinstance(self.check, dict):
             object.__setattr__(self, "check", CheckConfig(**self.check))
+        if isinstance(self.prof, dict):
+            object.__setattr__(self, "prof", ProfConfig(**self.prof))

@@ -195,4 +195,11 @@ def _extra(
             rpc_mean_batch=round(bs["mean_batch"], 3),
             rpc_max_batch=int(bs["max_batch"]),
         )
+    if cluster.profiler is not None:
+        pc = cluster.config.prof
+        extra["prof"] = cluster.profiler.snapshot()
+        if pc.folded_path:
+            cluster.profiler.write_folded(pc.folded_path)
+        if pc.chrome_path:
+            cluster.profiler.write_chrome(pc.chrome_path)
     return extra

@@ -44,6 +44,12 @@ Categories (the span/series/audit model; see DESIGN.md "Observability"):
     One open-loop arrival at a node's admission queue: ``node``,
     ``admitted`` (False = shed) and ``phase`` (the active scenario
     phase, ``steady`` outside scenarios).
+``traffic.dispatch``
+    An admitted arrival left the admission queue and became a root
+    transaction: ``sub`` is the task id the retry chain will carry,
+    ``arrived`` the queue-entry time and ``waited`` the admission wait
+    (``t - arrived``).  Links queueing delay to span chains for the
+    latency-anatomy pass (:mod:`repro.prof.anatomy`).
 ``traffic.queue``
     Gauge: a node's admission-queue depth (``node``, ``len``) whenever
     it changes.
@@ -92,6 +98,7 @@ OBS_CATEGORIES = frozenset(
         "rpc.cache",
         "obs.queue",
         "traffic.arrival",
+        "traffic.dispatch",
         "traffic.queue",
         "traffic.phase",
         "dstm.conflict",
@@ -124,6 +131,7 @@ _REQUIRED: Dict[str, frozenset] = {
     "rpc.cache": frozenset({"node", "hit"}),
     "obs.queue": frozenset({"node", "len"}),
     "traffic.arrival": frozenset({"node", "admitted", "phase"}),
+    "traffic.dispatch": frozenset({"node", "arrived", "waited"}),
     "traffic.queue": frozenset({"node", "len"}),
     "traffic.phase": frozenset({"name", "rate_scale"}),
     "fault.drop": frozenset({"src", "dst"}),

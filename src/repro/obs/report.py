@@ -20,8 +20,13 @@ percentiles, which is fine offline) and prints:
 * the RPC piggyback-batching summary (flushes, coalesced messages, mean
   and max batch size) when batching was on;
 * span-phase latency percentiles (p50/p95/p99, exact);
+* the critical-path latency anatomy — every committed root's sojourn
+  decomposed into exact blame segments (:mod:`repro.prof.anatomy`);
+* the wasted-work table — aborted-attempt sim-time by cause and node
+  (:mod:`repro.prof.wasted`);
 * the scheduler-decision histogram (action x cause);
-* the fault timeline (first events, with a truncation note).
+* the fault timeline (first events, with a truncation note; the cutoff
+  is ``--max-fault-lines``).
 
 ``--chrome OUT`` additionally re-exports the log as a Chrome
 ``trace_event`` file (Perfetto-loadable) — the offline twin of the
@@ -71,11 +76,15 @@ def summarize(
         "commit": Tally("span.commit", keep_samples=True),
         "abort": Tally("span.abort", keep_samples=True),
     }
+    dispatch: Dict[str, float] = {}
     for event in events:
         if validate:
             validate_event(event)
         series.feed(event)
         spans.feed(event)
+        if event.get("cat") == "traffic.dispatch":
+            # task id -> admission-queue arrival, for latency anatomy
+            dispatch[event["sub"]] = float(event["arrived"])
         if chrome is not None:
             chrome.feed(event)
 
@@ -113,6 +122,22 @@ def summarize(
     # key's absence keeps closed-loop summaries byte-identical.
     if series.traffic or series.phases:
         summary["traffic"] = series.traffic_summary()
+    # Latency anatomy + wasted work (repro.prof) — present whenever the
+    # log carries spans; span-free logs keep the old summary shape.
+    if completed:
+        from repro.prof import analyze_paths, anatomy_summary, wasted_summary
+
+        shed_by_node = {
+            tag: tr.shed
+            for tag, tr in sorted(series.traffic.items())
+            if tr.shed
+        }
+        summary["anatomy"] = anatomy_summary(analyze_paths(completed, dispatch))
+        summary["wasted"] = wasted_summary(
+            completed,
+            shed=sum(shed_by_node.values()),
+            shed_by_node=shed_by_node,
+        )
     return summary
 
 
@@ -232,7 +257,8 @@ def render(summary: Dict[str, Any], fault_limit: int = 12) -> str:
             out.append(
                 _table(
                     ["node", "offered", "admitted", "shed", "shed%",
-                     "offered tx/s", "mean depth", "p95 depth", "max depth"],
+                     "offered tx/s", "mean depth", "p95 depth", "max depth",
+                     "wait ms", "max wait"],
                     [
                         [
                             r["node"], str(r["offered"]), str(r["admitted"]),
@@ -240,6 +266,8 @@ def render(summary: Dict[str, Any], fault_limit: int = 12) -> str:
                             f"{r['offered_rate']:.1f}",
                             f"{r['mean_depth']:.2f}",
                             f"{r['p95_depth']:.0f}", str(r["max_depth"]),
+                            _ms(r.get("mean_wait", 0.0)),
+                            _ms(r.get("max_wait", 0.0)),
                         ]
                         for r in traffic["nodes"]
                     ],
@@ -251,6 +279,69 @@ def render(summary: Dict[str, Any], fault_limit: int = 12) -> str:
                 out.append(
                     f"  {p['t']:10.4f}s  {p['name']:<16} "
                     f"rate x{p['rate_scale']:.2f}"
+                )
+
+    anatomy = summary.get("anatomy")
+    if anatomy and anatomy.get("roots"):
+        from repro.prof import SEGMENTS
+
+        out.append("\n## latency anatomy (committed roots)")
+        out.append(
+            f"  {anatomy['roots']} chains | sojourn mean "
+            f"{_ms(anatomy['mean_sojourn'])}ms p50 {_ms(anatomy['p50_sojourn'])} "
+            f"p95 {_ms(anatomy['p95_sojourn'])} p99 {_ms(anatomy['p99_sojourn'])} | "
+            f"mean attempts {anatomy['mean_attempts']:.2f} | "
+            f"residual {anatomy['max_residual']:.2e}"
+        )
+        segs = anatomy["segments"]
+        p99 = anatomy["p99_segments"]
+        out.append(
+            _table(
+                ["segment", "total ms", "share%", "mean ms", "p99 share%"],
+                [
+                    [
+                        name,
+                        _ms(segs[name]["total"]),
+                        f"{segs[name]['share'] * 100:.1f}",
+                        _ms(segs[name]["mean"]),
+                        f"{p99[name] * 100:.1f}",
+                    ]
+                    for name in SEGMENTS
+                ],
+            )
+        )
+
+    wasted = summary.get("wasted")
+    if wasted and (wasted.get("attempts") or wasted.get("shed")):
+        out.append("\n## wasted work")
+        out.append(
+            f"  {_ms(wasted['wasted_time'])}ms over {wasted['attempts']} "
+            f"aborted attempts | committed-attempt time "
+            f"{_ms(wasted['committed_time'])}ms | wasted fraction "
+            f"{wasted['wasted_fraction'] * 100:.1f}% | nested "
+            f"{wasted['nested_attempts']} attempts "
+            f"{_ms(wasted['nested_time'])}ms | parent-caused cascade "
+            f"{wasted['parent_caused_attempts']} attempts "
+            f"({wasted['nested_parent_rate'] * 100:.1f}% of nested aborts) "
+            f"| shed {wasted['shed']}"
+        )
+        for title, rows in (
+            ("cause", wasted["by_cause"]),
+            ("node", wasted["by_node"]),
+            ("profile", wasted["by_profile"]),
+        ):
+            if rows:
+                out.append(
+                    _table(
+                        [title, "attempts", "time ms", "share%"],
+                        [
+                            [
+                                r["key"], str(r["attempts"]),
+                                _ms(r["time"]), f"{r['share'] * 100:.1f}",
+                            ]
+                            for r in rows
+                        ],
+                    )
                 )
 
     batching = summary.get("batching") or {}
@@ -303,6 +394,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="also export a Chrome trace_event JSON file")
     parser.add_argument("--json", action="store_true", dest="as_json",
                         help="print the summary as JSON instead of tables")
+    parser.add_argument("--max-fault-lines", type=int, default=12,
+                        help="fault-timeline lines before truncation")
     args = parser.parse_args(argv)
 
     chrome = ChromeTraceWriter(args.chrome) if args.chrome else None
@@ -322,7 +415,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.as_json:
         print(json.dumps(summary, indent=2, sort_keys=True))
     else:
-        print(render(summary))
+        print(render(summary, fault_limit=args.max_fault_lines))
         if chrome is not None:
             print(f"\nchrome trace written to {chrome.path} ({chrome.count} events)")
     return 0

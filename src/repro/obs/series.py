@@ -81,7 +81,7 @@ class TrafficSeries:
     """Admission-plane aggregates for one node (open-loop runs only)."""
 
     __slots__ = ("tag", "offered", "admitted", "shed", "depth", "depth_max",
-                 "depth_windows")
+                 "depth_windows", "dispatched", "wait_total", "wait_max")
 
     def __init__(self, tag: str, start_time: float) -> None:
         self.tag = tag
@@ -93,6 +93,11 @@ class TrafficSeries:
         #: window index -> peak queue depth within the window (the p95
         #: over these stays O(windows), never O(events))
         self.depth_windows: Dict[int, int] = {}
+        #: arrivals that left the queue and started (traffic.dispatch)
+        self.dispatched = 0
+        #: total / max admission wait over dispatched arrivals
+        self.wait_total = 0.0
+        self.wait_max = 0.0
 
 
 class SeriesTracker:
@@ -207,6 +212,13 @@ class SeriesTracker:
                 tr.admitted += 1
             else:
                 tr.shed += 1
+        elif cat == "traffic.dispatch":
+            tr = self._traffic(event["node"], t)
+            tr.dispatched += 1
+            waited = float(event["waited"])
+            tr.wait_total += waited
+            if waited > tr.wait_max:
+                tr.wait_max = waited
         elif cat == "traffic.queue":
             tr = self._traffic(event["node"], t)
             depth = int(event["len"])
@@ -322,6 +334,11 @@ class SeriesTracker:
                     "shed": tr.shed,
                     "shed_rate": tr.shed / tr.offered if tr.offered else 0.0,
                     "offered_rate": tr.offered / span if span > 0 else 0.0,
+                    "dispatched": tr.dispatched,
+                    "mean_wait": (
+                        tr.wait_total / tr.dispatched if tr.dispatched else 0.0
+                    ),
+                    "max_wait": tr.wait_max,
                     "mean_depth": tr.depth.average(now),
                     "max_depth": tr.depth_max,
                     "p95_depth": _percentile(list(tr.depth_windows.values()), 95.0),

@@ -1,0 +1,41 @@
+"""repro.prof — the performance-observability layer.
+
+Four tools on top of the span/obs machinery (DESIGN.md §3h):
+
+* :mod:`repro.prof.anatomy` — critical-path latency anatomy: decompose
+  every committed root transaction's sojourn into exact, non-overlapping
+  blame segments (admission wait, enqueue wait, network, validation,
+  commit, retry backoff, fault stall, wasted attempts);
+* :mod:`repro.prof.wasted` — wasted-work accounting: sim-time burned by
+  aborted attempts, bucketed by cause / node / workload profile — the
+  quantitative form of the paper's RTS-vs-TFA argument;
+* :mod:`repro.prof.kernel` — an opt-in DES-kernel profiler: deterministic
+  per-event-type / per-consumer counters, optional wall-clock attribution,
+  folded-stack flamegraph text and a Chrome-trace overlay;
+* :mod:`repro.prof.trend` — the perf-trajectory harness: a versioned
+  ``BENCH_HISTORY.jsonl`` schema plus a CLI that appends benchmark runs
+  and flags regressions against the recorded baseline.
+
+Everything here is strictly additive: the profiler is disabled by
+default (one ``is not None`` guard on the kernel run loop), the anatomy
+and wasted passes are offline consumers of obs JSONL exports, and the
+trend CLI never touches the simulation.
+"""
+
+from repro.prof.anatomy import (
+    SEGMENTS,
+    CriticalPath,
+    analyze_paths,
+    anatomy_summary,
+)
+from repro.prof.kernel import KernelProfiler
+from repro.prof.wasted import wasted_summary
+
+__all__ = [
+    "SEGMENTS",
+    "CriticalPath",
+    "KernelProfiler",
+    "analyze_paths",
+    "anatomy_summary",
+    "wasted_summary",
+]

@@ -1,0 +1,290 @@
+"""Critical-path latency anatomy over reconstructed spans.
+
+For every *committed* root transaction this pass decomposes the
+end-to-end sojourn — admission queue arrival (open-loop runs) or first
+``span.begin`` through the committing ``span.end`` — into exact,
+non-overlapping blame segments:
+
+========== ==============================================================
+segment    what the time was spent on
+========== ==============================================================
+admission  waiting in the node's admission queue before the first attempt
+           (open-loop runs; needs ``traffic.dispatch`` events in the log)
+queue      RTS scheduler enqueue wait — parked at an owner for an object
+           being validated (the ``queue`` span phase)
+network    RPC/object-migration time on the committed path: directory
+           lookups and copy fetches (``open`` minus nested ``queue``),
+           commit-time object acquisition and ownership registration
+validation read-set validation round trips (``validate`` phases)
+commit     commit-protocol residue not inside acquire/register/validate
+           (local install, bookkeeping)
+exec       local execution on the committed path (op CPU time, compute)
+backoff    retry stalls between attempts — root retry backoff and
+           nested-child retry stalls — after non-fault aborts
+fault_stall the same stalls when the preceding abort was OWNER_FAILURE
+           (fault-recovery wait)
+wasted     time inside aborted attempts (root or nested) whose work was
+           thrown away; detailed further by :mod:`repro.prof.wasted`
+========== ==============================================================
+
+The decomposition is a boundary-point sweep: every candidate interval
+(attempt spans, phases, retry gaps) is clipped to the chain's window and
+each elementary sub-interval is classified by its *innermost* containing
+candidate (smallest width, latest start).  Because the sweep partitions
+the window, the segments sum to the sojourn exactly up to float
+summation noise — ``tests/prof/test_anatomy.py`` pins the invariant at
+``abs(residual) < 1e-9``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.spans import Span
+
+__all__ = [
+    "SEGMENTS",
+    "PHASE_SEGMENT",
+    "CriticalPath",
+    "analyze_paths",
+    "anatomy_summary",
+    "group_chains",
+]
+
+#: canonical blame segments, in report order
+SEGMENTS = (
+    "admission",
+    "queue",
+    "network",
+    "validation",
+    "commit",
+    "exec",
+    "backoff",
+    "fault_stall",
+    "wasted",
+)
+
+#: span-phase name -> blame segment on the committed path.  ``open``
+#: covers lookup + copy migration; its nested ``queue`` (scheduler
+#: enqueue) wins by being the inner interval.
+PHASE_SEGMENT = {
+    "queue": "queue",
+    "open": "network",
+    "acquire": "network",
+    "register": "network",
+    "validate": "validation",
+    "commit": "commit",
+}
+
+#: abort reason whose retry stall counts as fault recovery, not backoff
+_FAULT_REASON = "owner_failure"
+
+
+@dataclass
+class CriticalPath:
+    """One committed root transaction's decomposed sojourn."""
+
+    task: str
+    node: str
+    profile: str
+    start: float           #: window start (arrival when known, else first begin)
+    end: float             #: committing attempt's span.end
+    attempts: int          #: root attempts (aborted + the committed one)
+    arrived: Optional[float] = None  #: admission-queue arrival (open-loop)
+    segments: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def sojourn(self) -> float:
+        return self.end - self.start
+
+    @property
+    def residual(self) -> float:
+        """Sojourn minus segment sum — float noise only, by construction."""
+        return self.sojourn - sum(self.segments.values())
+
+
+def _stall_segment(reason: Optional[str]) -> str:
+    return "fault_stall" if reason == _FAULT_REASON else "backoff"
+
+
+def group_chains(
+    spans: Iterable[Span],
+) -> Tuple[Dict[str, List[Span]], Dict[str, List[Span]]]:
+    """Index spans into root retry chains and parent->children links.
+
+    Returns ``(roots_by_task, children_by_parent)``; both lists are
+    sorted by start time (ties by txid, which embeds the creation
+    sequence).
+    """
+    roots: Dict[str, List[Span]] = {}
+    children: Dict[str, List[Span]] = {}
+    for span in spans:
+        if span.depth == 0:
+            roots.setdefault(span.task, []).append(span)
+        elif span.parent is not None:
+            children.setdefault(span.parent, []).append(span)
+    for group in roots.values():
+        group.sort(key=lambda s: (s.start, s.txid))
+    for group in children.values():
+        group.sort(key=lambda s: (s.start, s.txid))
+    return roots, children
+
+
+def _committed_intervals(
+    span: Span,
+    children: Dict[str, List[Span]],
+    out: List[Tuple[float, float, str]],
+) -> None:
+    """Collect classification candidates inside a committed span.
+
+    The span itself is the ``exec`` fallback; phases and child spans are
+    inner candidates that win over it.  Aborted children contribute one
+    opaque ``wasted`` interval plus the retry stall to the next sibling
+    attempt; committed children recurse.
+    """
+    if span.end is None:
+        return
+    out.append((span.start, span.end, "exec"))
+    for phase in span.phases:
+        seg = PHASE_SEGMENT.get(phase.name)
+        if seg is not None and phase.end > phase.start:
+            out.append((phase.start, phase.end, seg))
+    kids = children.get(span.txid, ())
+    for i, child in enumerate(kids):
+        if child.end is None:
+            continue
+        if child.outcome == "commit":
+            _committed_intervals(child, children, out)
+        else:
+            if child.end > child.start:
+                out.append((child.start, child.end, "wasted"))
+            nxt = kids[i + 1] if i + 1 < len(kids) else None
+            if nxt is not None and nxt.start > child.end:
+                out.append((child.end, nxt.start, _stall_segment(child.reason)))
+
+
+def _sweep(
+    t0: float, t1: float, intervals: List[Tuple[float, float, str]]
+) -> Dict[str, float]:
+    """Partition [t0, t1] by innermost-candidate classification."""
+    segments = {name: 0.0 for name in SEGMENTS}
+    points = {t0, t1}
+    clipped: List[Tuple[float, float, str]] = []
+    for s, e, seg in intervals:
+        s = max(s, t0)
+        e = min(e, t1)
+        if e <= s:
+            continue
+        clipped.append((s, e, seg))
+        points.add(s)
+        points.add(e)
+    boundary = sorted(points)
+    for a, b in zip(boundary, boundary[1:]):
+        if b <= a:
+            continue
+        best: Optional[Tuple[float, float, str]] = None
+        for s, e, seg in clipped:
+            if s <= a and b <= e:
+                if best is None or (e - s, -s) < (best[1] - best[0], -best[0]):
+                    best = (s, e, seg)
+        segments[best[2] if best is not None else "exec"] += b - a
+    return segments
+
+
+def analyze_paths(
+    spans: Iterable[Span],
+    dispatch: Optional[Dict[str, float]] = None,
+) -> List[CriticalPath]:
+    """Decompose every committed root chain into blame segments.
+
+    ``dispatch`` maps task id -> admission-queue arrival time (built
+    from ``traffic.dispatch`` events); without it the window starts at
+    the first attempt's ``span.begin`` and ``admission`` stays zero.
+    """
+    roots, children = group_chains(spans)
+    dispatch = dispatch or {}
+    paths: List[CriticalPath] = []
+    for task in sorted(roots):
+        attempts = [s for s in roots[task] if s.end is not None]
+        if not attempts or attempts[-1].outcome != "commit":
+            continue
+        committed = attempts[-1]
+        arrived = dispatch.get(task)
+        t0 = arrived if arrived is not None else attempts[0].start
+        t1 = committed.end
+        assert t1 is not None
+        intervals: List[Tuple[float, float, str]] = []
+        if attempts[0].start > t0:
+            intervals.append((t0, attempts[0].start, "admission"))
+        for i, attempt in enumerate(attempts[:-1]):
+            assert attempt.end is not None
+            if attempt.end > attempt.start:
+                intervals.append((attempt.start, attempt.end, "wasted"))
+            nxt = attempts[i + 1]
+            if nxt.start > attempt.end:
+                intervals.append(
+                    (attempt.end, nxt.start, _stall_segment(attempt.reason))
+                )
+        _committed_intervals(committed, children, intervals)
+        paths.append(
+            CriticalPath(
+                task=task,
+                node=committed.node,
+                profile=committed.profile,
+                start=t0,
+                end=t1,
+                attempts=len(attempts),
+                arrived=arrived,
+                segments=_sweep(t0, t1, intervals),
+            )
+        )
+    return paths
+
+
+def anatomy_summary(paths: List[CriticalPath]) -> Dict[str, Any]:
+    """Aggregate blame segments across committed chains.
+
+    ``p99_segments`` attributes the tail: mean segment share over the
+    slowest 1% of chains (at least one), which is the decomposition a
+    p99-sojourn SLO verdict needs.
+    """
+    if not paths:
+        return {"roots": 0}
+    sojourns = sorted(p.sojourn for p in paths)
+    total = sum(sojourns)
+    totals = {name: 0.0 for name in SEGMENTS}
+    for p in paths:
+        for name, value in p.segments.items():
+            totals[name] += value
+    n = len(paths)
+    p99_cut = sojourns[max(0, -(-n * 99 // 100) - 1)]
+    tail = [p for p in paths if p.sojourn >= p99_cut]
+    tail_total = sum(p.sojourn for p in tail)
+    tail_totals = {name: 0.0 for name in SEGMENTS}
+    for p in tail:
+        for name, value in p.segments.items():
+            tail_totals[name] += value
+    return {
+        "roots": n,
+        "total_sojourn": total,
+        "mean_sojourn": total / n,
+        "p50_sojourn": sojourns[max(0, -(-n * 50 // 100) - 1)],
+        "p95_sojourn": sojourns[max(0, -(-n * 95 // 100) - 1)],
+        "p99_sojourn": p99_cut,
+        "mean_attempts": sum(p.attempts for p in paths) / n,
+        "segments": {
+            name: {
+                "total": totals[name],
+                "share": totals[name] / total if total > 0 else 0.0,
+                "mean": totals[name] / n,
+            }
+            for name in SEGMENTS
+        },
+        "p99_segments": {
+            name: (tail_totals[name] / tail_total if tail_total > 0 else 0.0)
+            for name in SEGMENTS
+        },
+        "p99_chains": len(tail),
+        "max_residual": max(abs(p.residual) for p in paths),
+    }

@@ -1,0 +1,181 @@
+"""Opt-in DES-kernel profiler: where does the run loop spend its time?
+
+The ROADMAP's "kernel raw speed" item needs evidence of *where* the
+schedule-pop loop burns host time before committing to structural
+rewrites (calendar queue, batch draining).  This profiler attributes
+every processed kernel event to ``(event kind, consumer site)``:
+
+* **kind** — the event's class (``Timeout``, ``Event``, ``Process``,
+  ``AnyOf``, ...), i.e. the kernel mechanism exercised;
+* **site** — the callback's consumer: a process name with indices
+  normalised away (``dispatch[3][1]`` -> ``dispatch``, ``n7.heartbeat``
+  -> ``n*.heartbeat``), the owning object's class for unnamed bound
+  methods, or the function's qualname for plain callables.  Process
+  names are the simulation's endpoints (dispatchers, heartbeats,
+  arrival planes, workers), so the site axis is the per-endpoint view.
+
+Two modes:
+
+* **counters** (default) — pure event counts.  Counting does not touch
+  the schedule, so a profiled run's timeline is byte-identical to an
+  unprofiled one (pinned in ``tests/rpc/test_equivalence.py``);
+* **wall** — additionally meters host nanoseconds per callback via
+  ``perf_counter_ns``.  The timeline is still byte-identical; only the
+  recorded nanosecond values are host-dependent (they never feed back
+  into the simulation).
+
+Exports: :meth:`KernelProfiler.folded` (folded-stack flamegraph text,
+``kernel;<kind>;<site> <weight>``) and :meth:`KernelProfiler.write_chrome`
+(a Chrome ``trace_event`` overlay loadable in Perfetto).  Both are
+byte-deterministic in counters mode.
+
+The hook is strictly additive: ``Environment.run`` pays exactly one
+``is not None`` guard when no profiler is installed; the profiled loop
+is a separate copy of the run loop (``Environment._run_profiled``).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = ["KernelProfiler", "site_of"]
+
+#: strip process-name indices: brackets first, then digit runs
+_BRACKETS = re.compile(r"\[[^\]]*\]")
+_DIGITS = re.compile(r"\d+")
+
+
+def _wall_clock() -> int:
+    """Host nanoseconds (wall mode only; never feeds the simulation)."""
+    return time.perf_counter_ns()  # check: allow[det-wall-clock] -- host-side profiling attribution only; the value is reported, never scheduled
+
+
+def normalize_site(name: str) -> str:
+    """Collapse per-instance indices so sites aggregate across nodes."""
+    return _DIGITS.sub("*", _BRACKETS.sub("", name))
+
+
+def site_of(callback: Callable[..., Any]) -> str:
+    """Deterministic consumer label for one kernel callback."""
+    owner = getattr(callback, "__self__", None)
+    if owner is not None:
+        name = getattr(owner, "name", None)
+        if isinstance(name, str):
+            return normalize_site(name)
+        return type(owner).__name__
+    qualname = getattr(callback, "__qualname__", None) or getattr(
+        callback, "__name__", "callback"
+    )
+    return normalize_site(qualname)
+
+
+class KernelProfiler:
+    """Per-event-type / per-site accounting for the kernel run loop."""
+
+    __slots__ = ("wall", "clock", "counts", "wall_ns", "event_counts", "events")
+
+    def __init__(self, wall: bool = False) -> None:
+        self.wall = bool(wall)
+        #: the kernel loop reads this once per run; None = counters only
+        self.clock: Optional[Callable[[], int]] = _wall_clock if wall else None
+        #: (kind, site) -> callback dispatch count
+        self.counts: Dict[Tuple[str, str], int] = {}
+        #: (kind, site) -> host nanoseconds inside the callback (wall mode)
+        self.wall_ns: Dict[Tuple[str, str], int] = {}
+        #: event kind -> processed-event count (callback-free events too)
+        self.event_counts: Dict[str, int] = {}
+        self.events = 0
+
+    def install(self, env: Any) -> "KernelProfiler":
+        """Attach to an :class:`~repro.sim.core.Environment`."""
+        env.profiler = self
+        return self
+
+    # -- snapshots -------------------------------------------------------
+
+    def _weight(self, key: Tuple[str, str]) -> int:
+        if self.wall:
+            return self.wall_ns.get(key, 0) // 1000  # microseconds
+        return self.counts[key]
+
+    def snapshot(self, top: int = 12) -> Dict[str, Any]:
+        """JSON-able summary (experiment ``extra["prof"]``)."""
+        ranked = sorted(
+            self.counts, key=lambda key: (-self._weight(key), key)
+        )
+        rows = []
+        for key in ranked[:top]:
+            row: Dict[str, Any] = {
+                "event": key[0], "site": key[1], "count": self.counts[key],
+            }
+            if self.wall:
+                row["wall_us"] = self.wall_ns.get(key, 0) // 1000
+            rows.append(row)
+        return {
+            "events": self.events,
+            "mode": "wall" if self.wall else "counters",
+            "by_event": dict(sorted(self.event_counts.items())),
+            "sites": len(self.counts),
+            "top": rows,
+        }
+
+    def folded(self) -> List[str]:
+        """Folded-stack flamegraph lines (``flamegraph.pl``-compatible).
+
+        Weight is the dispatch count in counters mode and microseconds
+        in wall mode; lines sort lexicographically for byte determinism.
+        """
+        return [
+            f"kernel;{kind};{site} {self._weight((kind, site))}"
+            for kind, site in sorted(self.counts)
+        ]
+
+    def write_folded(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            for line in self.folded():
+                fh.write(line + "\n")
+
+    def write_chrome(self, path: str) -> None:
+        """Chrome ``trace_event`` overlay: one complete slice per site.
+
+        Slices are laid out sequentially (duration = weight in
+        microseconds), grouped one thread per event kind — a loadable
+        flamegraph-style picture of where kernel events went, not a
+        timeline of when.
+        """
+        kinds = sorted({kind for kind, _ in self.counts})
+        tid_of = {kind: i + 1 for i, kind in enumerate(kinds)}
+        events: List[Dict[str, Any]] = [
+            {
+                "args": {"name": "kernel-profile"},
+                "name": "process_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": 0,
+            }
+        ]
+        cursors = {kind: 0 for kind in kinds}
+        for kind, site in sorted(self.counts):
+            weight = max(1, self._weight((kind, site)))
+            events.append(
+                {
+                    "args": {"count": self.counts[(kind, site)]},
+                    "cat": "kernel",
+                    "dur": weight,
+                    "name": f"{kind};{site}",
+                    "ph": "X",
+                    "pid": 0,
+                    "tid": tid_of[kind],
+                    "ts": cursors[kind],
+                }
+            )
+            cursors[kind] += weight
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(
+                {"displayTimeUnit": "ms", "traceEvents": events},
+                fh, sort_keys=True, separators=(",", ":"),
+            )
+            fh.write("\n")

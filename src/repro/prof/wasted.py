@@ -1,0 +1,125 @@
+"""Wasted-work accounting: sim-time burned by aborted attempts.
+
+The paper's case for RTS is not raw throughput but *abort economy* —
+scheduling around objects being validated avoids repeating nearly
+finished work.  This pass makes that quantitative: every aborted attempt
+span contributes its duration as wasted sim-time, bucketed by abort
+cause, node and workload profile.  Two rules keep the accounting exact:
+
+* an aborted span is counted only when **no ancestor span aborted** —
+  a nested child that dies with its parent is already inside the
+  parent's wasted interval (the parent span contains it);
+* admission sheds (open-loop arrivals rejected at a full queue) burn no
+  sim-time but are reported alongside, since shed work is the admission
+  plane's form of the same loss.
+
+``wasted_fraction`` is wasted time over (wasted + committed-attempt)
+time.  Parent-caused nested aborts — the spans the first rule folds into
+their ancestor — are still tallied separately (``parent_caused_*``), and
+``nested_parent_rate`` recomputes Table I's metric (parent-caused nested
+aborts over all nested aborts) straight from the span stream.  That rate
+is the headline number that reproduces the RTS-vs-TFA gap on the
+contended cell (``tests/prof/test_wasted.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.obs.spans import Span
+
+__all__ = ["wasted_summary"]
+
+
+def _bucket_rows(bucket: Dict[str, List[float]], total: float) -> List[Dict[str, Any]]:
+    rows = []
+    for key in sorted(bucket, key=lambda k: (-sum(bucket[k]), k)):
+        values = bucket[key]
+        time = sum(values)
+        rows.append(
+            {
+                "key": key,
+                "attempts": len(values),
+                "time": time,
+                "share": time / total if total > 0 else 0.0,
+            }
+        )
+    return rows
+
+
+def wasted_summary(
+    spans: Iterable[Span],
+    shed: int = 0,
+    shed_by_node: Optional[Dict[str, int]] = None,
+) -> Dict[str, Any]:
+    """Bucket aborted-attempt sim-time by cause, node and profile."""
+    by_txid: Dict[str, Span] = {}
+    completed: List[Span] = []
+    for span in spans:
+        if span.end is None:
+            continue
+        by_txid[span.txid] = span
+        completed.append(span)
+
+    def ancestor_aborted(span: Span) -> bool:
+        parent = span.parent
+        while parent is not None:
+            up = by_txid.get(parent)
+            if up is None:
+                return False
+            if up.outcome == "abort":
+                return True
+            parent = up.parent
+        return False
+
+    by_cause: Dict[str, List[float]] = {}
+    by_node: Dict[str, List[float]] = {}
+    by_profile: Dict[str, List[float]] = {}
+    nested_time = 0.0
+    nested_attempts = 0
+    committed_time = 0.0
+    wasted_time = 0.0
+    attempts = 0
+    parent_caused_attempts = 0
+    parent_caused_time = 0.0
+    for span in completed:
+        duration = span.duration or 0.0
+        if span.outcome == "commit":
+            if span.depth == 0:
+                committed_time += duration
+            continue
+        if ancestor_aborted(span):
+            if span.depth > 0:
+                parent_caused_attempts += 1
+                parent_caused_time += duration
+            continue
+        attempts += 1
+        wasted_time += duration
+        cause = span.reason or "unknown"
+        by_cause.setdefault(cause, []).append(duration)
+        by_node.setdefault(span.node, []).append(duration)
+        by_profile.setdefault(span.profile, []).append(duration)
+        if span.depth > 0:
+            nested_attempts += 1
+            nested_time += duration
+
+    busy = wasted_time + committed_time
+    nested_aborts = nested_attempts + parent_caused_attempts
+    return {
+        "attempts": attempts,
+        "wasted_time": wasted_time,
+        "committed_time": committed_time,
+        "wasted_fraction": wasted_time / busy if busy > 0 else 0.0,
+        "nested_attempts": nested_attempts,
+        "nested_time": nested_time,
+        "parent_caused_attempts": parent_caused_attempts,
+        "parent_caused_time": parent_caused_time,
+        "nested_parent_rate": (
+            parent_caused_attempts / nested_aborts if nested_aborts else 0.0
+        ),
+        "by_cause": _bucket_rows(by_cause, wasted_time),
+        "by_node": _bucket_rows(by_node, wasted_time),
+        "by_profile": _bucket_rows(by_profile, wasted_time),
+        "shed": shed,
+        "shed_by_node": dict(sorted((shed_by_node or {}).items())),
+    }

@@ -47,7 +47,7 @@ class EmptySchedule(SimulationError):
 class Environment:
     """A deterministic discrete-event simulation environment."""
 
-    __slots__ = ("_now", "_heap", "_seq", "events_processed")
+    __slots__ = ("_now", "_heap", "_seq", "events_processed", "profiler")
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
@@ -55,6 +55,9 @@ class Environment:
         self._seq = 0
         #: number of events processed so far (useful for progress/limits)
         self.events_processed = 0
+        #: opt-in kernel profiler (:class:`repro.prof.KernelProfiler`);
+        #: None keeps run() on the unprofiled fast loop (one guard)
+        self.profiler: Optional[Any] = None
 
     # -- clock ---------------------------------------------------------------
 
@@ -152,6 +155,11 @@ class Environment:
         measures it).  :meth:`step` remains the reference implementation for
         single-step callers; the two must stay semantically identical.
         """
+        if self.profiler is not None:
+            # Single additive guard: profiled runs take a separate copy
+            # of the loop so the unprofiled path below stays untouched.
+            return self._run_profiled(until, max_events)
+
         stop_event: Optional[Event] = None
         stop_time = float("inf")
         if isinstance(until, Event):
@@ -209,5 +217,96 @@ class Environment:
         if until is not None and stop_time != float("inf") and self._now < stop_time:
             # Schedule ran dry before the horizon: advance to it for callers
             # that compute rates over the requested window.
+            self._now = stop_time
+        return None
+
+    def _run_profiled(
+        self,
+        until: Optional[float | Event] = None,
+        max_events: Optional[int] = None,
+    ) -> Any:
+        """The run loop with kernel-profiler accounting.
+
+        Must stay semantically identical to :meth:`run`: the profiler
+        only counts (and, in wall mode, meters host time around)
+        callback dispatches — it never touches the schedule, so the
+        processed event sequence is byte-identical to an unprofiled run.
+        """
+        from repro.prof.kernel import site_of  # lazy: only profiled runs
+
+        stop_event: Optional[Event] = None
+        stop_time = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise ValueError(f"until={stop_time} is in the past (now={self._now})")
+
+        prof = self.profiler
+        counts = prof.counts
+        event_counts = prof.event_counts
+        wall_ns = prof.wall_ns
+        clock = prof.clock
+        heap = self._heap
+        heappop = heapq.heappop
+        processed_at_start = self.events_processed
+        processed = self.events_processed
+        prof_events = prof.events
+        try:
+            while heap:
+                if stop_event is not None and stop_event._processed:
+                    break
+                if heap[0][0] > stop_time:
+                    self._now = stop_time
+                    break
+                if (
+                    max_events is not None
+                    and processed - processed_at_start >= max_events
+                ):
+                    raise SimulationError(f"exceeded max_events={max_events}")
+
+                when, _prio, _seq, event = heappop(heap)
+                self._now = when
+                processed += 1
+                prof_events += 1
+                kind = type(event).__name__
+                event_counts[kind] = event_counts.get(kind, 0) + 1
+
+                if event._value is _PENDING:
+                    event._ok = True
+                    event._value = event._fire_value
+
+                callbacks = event.callbacks
+                event.callbacks = None
+                event._processed = True
+                if clock is not None:
+                    for callback in callbacks:
+                        key = (kind, site_of(callback))
+                        counts[key] = counts.get(key, 0) + 1
+                        t0 = clock()
+                        callback(event)
+                        wall_ns[key] = wall_ns.get(key, 0) + clock() - t0
+                else:
+                    for callback in callbacks:
+                        key = (kind, site_of(callback))
+                        counts[key] = counts.get(key, 0) + 1
+                        callback(event)
+
+                if not event._ok and not event._defused:
+                    raise event._value
+        finally:
+            self.events_processed = processed
+            prof.events = prof_events
+
+        if stop_event is not None:
+            if not stop_event.triggered:
+                raise SimulationError(
+                    "run(until=event) exhausted the schedule before the event fired"
+                )
+            if not stop_event.ok:
+                raise stop_event.value
+            return stop_event.value
+        if until is not None and stop_time != float("inf") and self._now < stop_time:
             self._now = stop_time
         return None

@@ -171,16 +171,28 @@ class OpenLoopExecutor:
         env = cluster.env
         engine = cluster.engines[node]
         queue = self.queues[node]
+        tracer = cluster.tracer
         while True:
             item = yield from queue.get()
             if item is None:
                 return
             arrived_at, phase, op = item
+            # Mint the task id here (the same id run_root would have
+            # minted) so the dispatch event can link the admission-queue
+            # wait to the span chain for latency anatomy.
+            task_id = cluster.new_task_id(node)
+            if tracer.wants("traffic.dispatch"):
+                tracer.emit(
+                    env.now, "traffic.dispatch", task_id,
+                    node=f"n{node}", arrived=arrived_at,
+                    waited=env.now - arrived_at,
+                )
             try:
                 yield from run_root(
                     cluster, engine, op.body, op.args,
                     profile=op.profile,
                     max_attempts=self.max_attempts_per_tx,
+                    task_id=task_id,
                 )
                 sojourn = env.now - arrived_at
                 self.latency.observe(sojourn)

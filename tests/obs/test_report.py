@@ -85,11 +85,50 @@ class TestOpenLoopSection:
 
     def test_render_is_byte_deterministic(self, serving_log):
         """Two independent load->summarize->render passes over the same
-        log must produce identical bytes (tables and the traffic section
-        included) — the contract that makes reports diffable."""
+        log must produce identical bytes (tables, the traffic section,
+        and the repro.prof anatomy/wasted sections included) — the
+        contract that makes reports diffable."""
         first = render(summarize(load_events(str(serving_log))))
+        assert "## latency anatomy" in first
+        assert "## wasted work" in first
         second = render(summarize(load_events(str(serving_log))))
         assert first.encode() == second.encode()
+
+
+class TestProfSections:
+    def test_open_loop_summary_carries_anatomy_and_wasted(self, serving_log):
+        summary = summarize(load_events(str(serving_log)))
+        anatomy = summary["anatomy"]
+        assert anatomy["roots"] > 0
+        assert anatomy["max_residual"] < 1e-9
+        # open-loop linkage: traffic.dispatch stamps arrival times, so
+        # some chains accrue admission wait
+        text = render(summary)
+        assert "## latency anatomy (committed roots)" in text
+        for segment in ("admission", "queue", "network", "commit"):
+            assert segment in text
+        assert "## wasted work" in text
+        assert "parent-caused cascade" in text
+
+    def test_closed_loop_summary_has_anatomy_without_admission(self, run_log):
+        """Closed-loop logs have spans but no traffic.dispatch events:
+        chains are still decomposed, with a zero admission segment."""
+        summary = summarize(load_events(str(run_log)))
+        assert "traffic" not in summary
+        anatomy = summary["anatomy"]
+        assert anatomy["roots"] > 0
+        assert anatomy["segments"]["admission"]["total"] == 0.0
+
+    def test_spanless_log_keeps_old_summary_shape(self, tmp_path):
+        path = tmp_path / "thin.jsonl"
+        path.write_text(
+            '{"t": 0.5, "cat": "tx.commit", "sub": "x", "node": "n0"}\n'
+        )
+        summary = summarize(load_events(str(path)))
+        assert "anatomy" not in summary and "wasted" not in summary
+        text = render(summary)
+        assert "## latency anatomy" not in text
+        assert "## wasted work" not in text
 
 
 class TestCli:
@@ -114,6 +153,24 @@ class TestCli:
         path.write_text('{"cat": "x", "sub": "y"}\n')  # missing t
         assert main([str(path), "--validate"]) == 1
         assert "schema error" in capsys.readouterr().err
+
+    def test_max_fault_lines_flag(self, run_log, capsys):
+        """The fault-timeline cutoff is a flag, not a constant: a tight
+        limit truncates with an accounting note, a loose one shows all."""
+        summary = summarize(load_events(str(run_log)))
+        n_faults = len(summary["faults"])
+        assert n_faults > 2, "fixture must produce a fault timeline"
+
+        assert main([str(run_log), "--max-fault-lines", "2"]) == 0
+        tight = capsys.readouterr().out
+        shown = [l for l in tight.splitlines() if "fault." in l]
+        assert len(shown) == 2
+        assert f"... {n_faults - 2 + summary['faults_dropped']} more" in tight
+
+        assert main([str(run_log), "--max-fault-lines", str(n_faults)]) == 0
+        loose = capsys.readouterr().out
+        shown = [l for l in loose.splitlines() if "fault." in l]
+        assert len(shown) == n_faults
 
     def test_module_entrypoint(self, run_log):
         import subprocess

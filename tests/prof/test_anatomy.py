@@ -1,0 +1,184 @@
+"""Critical-path latency anatomy: exactness and the sum-to-sojourn pin."""
+
+import pytest
+
+from repro.obs.spans import build_spans
+from repro.prof import SEGMENTS, analyze_paths, anatomy_summary
+
+
+def _begin(t, txid, task, attempt, depth=0, parent=None, profile="p"):
+    e = {"t": t, "cat": "span.begin", "sub": txid, "task": task,
+         "node": "n0", "attempt": attempt, "profile": profile, "depth": depth}
+    if parent is not None:
+        e["parent"] = parent
+    return e
+
+
+def _phase(t, txid, phase, edge):
+    return {"t": t, "cat": "span.phase", "sub": txid, "phase": phase,
+            "edge": edge}
+
+
+def _end(t, txid, task, outcome, reason=None, depth=0):
+    e = {"t": t, "cat": "span.end", "sub": txid, "task": task,
+         "node": "n0", "outcome": outcome, "depth": depth}
+    if reason is not None:
+        e["reason"] = reason
+    return e
+
+
+@pytest.fixture()
+def hand_trace():
+    """One task, hand-built to exercise every blame segment.
+
+    arrival 0.0 -> dispatch 1.0 (admission 1.0)
+    attempt r0 [1, 3] aborted busy_object (wasted 2.0), backoff [3, 4]
+    attempt r1 [4, 10] committed:
+      open [4.5, 5.5] with nested queue [4.8, 5.2]  -> queue .4, network .6
+      committed child c0 [5.6, 5.9]                 -> exec
+      validate [6.0, 6.5]                           -> validation .5
+      aborted child c1 [6.6, 6.8] (owner_failure)   -> wasted .2
+      retry gap to child c2 [6.8, 6.9]              -> fault_stall .1
+      committed child c2 [6.9, 6.95]                -> exec
+      commit [7, 9] with acquire [7.2, 7.8] and register [8.0, 8.4]
+                                                    -> commit 1.0, network 1.0
+    """
+    events = [
+        _begin(1.0, "r0", "t1", 0),
+        _end(3.0, "r0", "t1", "abort", reason="busy_object"),
+        _begin(4.0, "r1", "t1", 1),
+        _phase(4.5, "r1", "open", "B"),
+        _phase(4.8, "r1", "queue", "B"),
+        _phase(5.2, "r1", "queue", "E"),
+        _phase(5.5, "r1", "open", "E"),
+        _begin(5.6, "c0", "t1", 0, depth=1, parent="r1"),
+        _end(5.9, "c0", "t1", "commit", depth=1),
+        _phase(6.0, "r1", "validate", "B"),
+        _phase(6.5, "r1", "validate", "E"),
+        _begin(6.6, "c1", "t1", 0, depth=1, parent="r1"),
+        _end(6.8, "c1", "t1", "abort", reason="owner_failure", depth=1),
+        _begin(6.9, "c2", "t1", 1, depth=1, parent="r1"),
+        _end(6.95, "c2", "t1", "commit", depth=1),
+        _phase(7.0, "r1", "commit", "B"),
+        _phase(7.2, "r1", "acquire", "B"),
+        _phase(7.8, "r1", "acquire", "E"),
+        _phase(8.0, "r1", "register", "B"),
+        _phase(8.4, "r1", "register", "E"),
+        _phase(9.0, "r1", "commit", "E"),
+        _end(10.0, "r1", "t1", "commit"),
+    ]
+    return build_spans(events)
+
+
+EXPECTED = {
+    "admission": 1.0,
+    "queue": 0.4,
+    "network": 1.6,
+    "validation": 0.5,
+    "commit": 1.0,
+    "exec": 2.2,
+    "backoff": 1.0,
+    "fault_stall": 0.1,
+    "wasted": 2.2,
+}
+
+
+class TestHandTrace:
+    def test_exact_segment_decomposition(self, hand_trace):
+        (path,) = analyze_paths(hand_trace, dispatch={"t1": 0.0})
+        assert path.task == "t1"
+        assert path.attempts == 2
+        assert path.arrived == 0.0
+        assert path.sojourn == pytest.approx(10.0)
+        for name in SEGMENTS:
+            assert path.segments[name] == pytest.approx(
+                EXPECTED[name], abs=1e-12
+            ), name
+        assert abs(path.residual) < 1e-9
+
+    def test_without_dispatch_window_starts_at_first_begin(self, hand_trace):
+        (path,) = analyze_paths(hand_trace)
+        assert path.arrived is None
+        assert path.start == 1.0
+        assert path.segments["admission"] == 0.0
+        assert path.sojourn == pytest.approx(9.0)
+        assert abs(path.residual) < 1e-9
+
+    def test_uncommitted_tasks_are_skipped(self, hand_trace):
+        extra = build_spans([
+            _begin(0.0, "x0", "t2", 0),
+            _end(1.0, "x0", "t2", "abort", reason="busy_object"),
+        ])
+        paths = analyze_paths(hand_trace + extra)
+        assert [p.task for p in paths] == ["t1"]
+
+    def test_summary_aggregates(self, hand_trace):
+        summary = anatomy_summary(analyze_paths(hand_trace, {"t1": 0.0}))
+        assert summary["roots"] == 1
+        assert summary["mean_attempts"] == 2.0
+        assert summary["p99_sojourn"] == pytest.approx(10.0)
+        assert summary["max_residual"] < 1e-9
+        shares = sum(s["share"] for s in summary["segments"].values())
+        assert shares == pytest.approx(1.0)
+        assert anatomy_summary([]) == {"roots": 0}
+
+
+class TestChaosInvariant:
+    """The acceptance pin: on a nested+retry trace under faults and
+    open-loop admission, every committed chain's blame segments sum to
+    its sojourn exactly (|residual| < 1e-9)."""
+
+    @pytest.fixture(scope="class")
+    def chaos_paths(self, tmp_path_factory):
+        from repro.core.config import ClusterConfig
+        from repro.core.experiment import run_experiment
+        from repro.obs.report import load_events, summarize
+
+        path = tmp_path_factory.mktemp("prof") / "chaos.jsonl"
+        cfg = ClusterConfig(
+            num_nodes=6, seed=5, scheduler="rts", cl_threshold=4,
+            obs=dict(enabled=True, jsonl_path=str(path)),
+            arrival=dict(enabled=True, process="poisson", rate=12.0,
+                         zipf_s=1.2, queue_capacity=8),
+            # drop-only fault plan: overlapping crash windows can trip the
+            # sanitizer's single-writable-copy check under open-loop load
+            # (a known, pre-existing caveat — see the replicated-directory
+            # item in ROADMAP.md), and CI runs this suite sanitized.
+            faults=dict(enabled=True, crash_rate=0.0, drop_rate=0.05),
+        )
+        result = run_experiment("bank", cfg, read_fraction=0.2,
+                                workers_per_node=2, horizon=6.0)
+        assert result.commits > 0
+        events = list(load_events(str(path)))
+        spans = [e for e in events if e["cat"].startswith("span.")]
+        assert any(e.get("depth", 0) > 0 for e in spans), "need nested spans"
+        dispatch = {
+            e["sub"]: float(e["arrived"])
+            for e in events if e["cat"] == "traffic.dispatch"
+        }
+        from repro.obs.spans import build_spans as _build
+
+        return analyze_paths(_build(events), dispatch), summarize(iter(events))
+
+    def test_segments_sum_to_sojourn(self, chaos_paths):
+        paths, _ = chaos_paths
+        assert paths, "chaos run must commit some chains"
+        for p in paths:
+            assert abs(p.residual) < 1e-9, (p.task, p.residual, p.segments)
+            assert all(v >= 0 for v in p.segments.values()), p.segments
+
+    def test_retry_chains_present(self, chaos_paths):
+        paths, _ = chaos_paths
+        assert any(p.attempts > 1 for p in paths), "no retries in chaos run"
+        assert any(p.segments["wasted"] > 0 for p in paths)
+
+    def test_admission_linked(self, chaos_paths):
+        paths, _ = chaos_paths
+        assert all(p.arrived is not None for p in paths)
+        assert any(p.segments["admission"] > 0 for p in paths)
+
+    def test_report_carries_the_summary(self, chaos_paths):
+        _, summary = chaos_paths
+        assert summary["anatomy"]["roots"] > 0
+        assert summary["anatomy"]["max_residual"] < 1e-9
+        assert summary["wasted"]["attempts"] > 0

@@ -16,7 +16,7 @@ fix), re-record the pins in the same commit and say why in its message.
 import pytest
 
 from repro.core import ClusterConfig, SchedulerKind
-from repro.core.config import CheckConfig, RpcConfig
+from repro.core.config import CheckConfig, ProfConfig, RpcConfig
 from repro.core.experiment import run_experiment
 
 # (workload, num_nodes, seed) -> (commits, root_aborts, sim_events)
@@ -26,10 +26,12 @@ PINS = {
 }
 
 
-def run_cell(workload, num_nodes, seed, rpc=None, check=None):
+def run_cell(workload, num_nodes, seed, rpc=None, check=None, prof=None):
     kwargs = {} if rpc is None else {"rpc": rpc}
     if check is not None:
         kwargs["check"] = check
+    if prof is not None:
+        kwargs["prof"] = prof
     cfg = ClusterConfig(
         num_nodes=num_nodes, seed=seed,
         scheduler=SchedulerKind.RTS, cl_threshold=4, **kwargs,
@@ -54,6 +56,29 @@ def test_explicit_zero_config_is_the_default():
     assert explicit.messages_sent > 0
     assert "rpc_batches" not in explicit.extra
     assert "rpc_cache_hits" not in explicit.extra
+
+
+@pytest.mark.parametrize(
+    "prof",
+    [ProfConfig(enabled=False), ProfConfig(enabled=True)],
+    ids=["off", "counters"],
+)
+def test_prof_config_preserves_the_pin(prof):
+    """ProfConfig is strictly additive in *both* states: enabled=False
+    installs no profiler (the run loop pays one is-not-None guard), and
+    counters mode only tallies callback dispatches — it never touches
+    the schedule, so the committed timeline is still the pin."""
+    cell = ("dht", 6, 3)
+    result = run_cell(*cell, prof=prof)
+    assert (result.commits, result.root_aborts,
+            result.sim_events) == PINS[cell]
+    if prof.enabled:
+        snap = result.extra["prof"]
+        # every processed kernel event was attributed
+        assert snap["events"] == result.sim_events
+        assert snap["mode"] == "counters"
+    else:
+        assert "prof" not in result.extra
 
 
 @pytest.mark.parametrize("sanitize", [False, True], ids=["off", "on"])
