@@ -129,6 +129,15 @@ INVARIANT_RULES: Dict[str, Rule] = {
             "DESIGN §3d (version-fenced lookup caching)",
         ),
         Rule(
+            "inv-payload-fence",
+            "a payload fetch is served only from bytes at exactly the "
+            "requested version fence, never past the home's watermark",
+            "payload/control split safety: lazily resolved bytes must "
+            "match the version the control plane granted — serving any "
+            "other fence would smuggle stale or unregistered state",
+            "DESIGN §3i (payload plane; ProxyStore-style proxies)",
+        ),
+        Rule(
             "inv-retry-policy",
             "the RPC retry policy's windows grow monotonically to the cap "
             "and its derived bounds are self-consistent",

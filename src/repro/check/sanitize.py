@@ -29,7 +29,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
 
 from repro.check.rules import INVARIANT_RULES
-from repro.dstm.objects import ObjectState
+from repro.dstm.objects import ObjectState, home_node
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.dstm.proxy import TMProxy
@@ -245,6 +245,43 @@ class Sanitizer:
             raise InvariantViolation(
                 "inv-cache-coherent", "lookup-cache", node=node,
                 orphaned_versions=sorted(orphaned),
+            )
+
+    # -- inv-payload-fence ---------------------------------------------------
+
+    def check_payload_serve(
+        self, oid: str, version: int, node: int, now: Optional[float] = None
+    ) -> None:
+        """A node is about to serve payload bytes for ``(oid, version)``.
+
+        Two conditions, both sound against the register-then-install
+        commit window (registration precedes the committer's byte
+        materialisation, so the watermark is always at or ahead of any
+        servable fence):
+
+        * the serving node's resolved-bytes cache must hold ``oid`` at
+          exactly the requested fence — serving from any other fence
+          would hand out stale (or fabricated) bytes;
+        * the fence must not exceed the home's registered watermark — a
+          version the directory has never registered cannot have
+          committed bytes anywhere.
+        """
+        self.checks += 1
+        proxy = self.proxies.get(node)
+        pp = getattr(proxy, "payload", None) if proxy is not None else None
+        if pp is not None:
+            held = pp.cache_version(oid)
+            if held != version:
+                raise InvariantViolation(
+                    "inv-payload-fence", oid, node=node, time=now,
+                    serving=version, held=held,
+                )
+        home = home_node(oid, len(self.proxies)) if self.proxies else None
+        mark = self._watermarks.get((home, oid)) if home is not None else None
+        if mark is not None and version > mark:
+            raise InvariantViolation(
+                "inv-payload-fence", oid, node=node, time=now,
+                serving=version, watermark=mark, home=home,
             )
 
     # -- inv-retry-policy ----------------------------------------------------

@@ -40,6 +40,7 @@ from repro.sim import Environment, RngRegistry, Tracer
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.check import Sanitizer
     from repro.obs import ObsRecorder
+    from repro.rpc.payload import PayloadPlane
 
 __all__ = ["Cluster"]
 
@@ -97,11 +98,30 @@ class Cluster:
             kind=config.topology,
             min_delay=config.min_link_delay,
             max_delay=config.max_link_delay,
+            bandwidth=config.payload.bandwidth if config.payload.enabled else None,
         )
         self.network = Network(
             self.env, self.topology, tracer=self.tracer,
             local_delay=config.local_loopback_delay,
         )
+
+        # Payload plane (repro.rpc.payload).  Strictly additive: the
+        # default PayloadConfig(enabled=False) builds no plane and no
+        # wire-cost model, so the timeline is byte-identical (pinned by
+        # tests/rpc/test_equivalence.py).  Enabled, the control plane
+        # still carries semantic values unchanged; the plane only models
+        # bulk bytes (declared sizes, transfer + serialization delay,
+        # lazy proxy-mode resolution).
+        plc = config.payload
+        self.payload_plane: Optional["PayloadPlane"] = None
+        if plc.enabled:
+            from repro.net.network import WireCostModel
+            from repro.rpc.payload import PayloadPlane
+
+            self.payload_plane = PayloadPlane(plc, config.num_nodes)
+            self.network.cost = WireCostModel(
+                self.topology.bandwidth_of, plc.ser_per_byte, plc.control_size
+            )
         self.metrics = MetricsCollector(keep_latency_samples=oc.enabled)
 
         # RPC substrate (repro.rpc).  Strictly additive: the default
@@ -200,6 +220,8 @@ class Cluster:
                 directory.sanitizer = self.sanitizer
                 proxy.sanitizer = self.sanitizer
                 rpc_client.cache.sanitizer = self.sanitizer
+            if self.payload_plane is not None:
+                proxy.enable_payload(self.payload_plane.nodes[node_id])
             engine = TFAEngine(
                 proxy,
                 op_local_time=config.op_local_time,
@@ -276,12 +298,21 @@ class Cluster:
     # Object allocation (bootstrap)
     # ------------------------------------------------------------------
 
-    def alloc(self, oid: str, value: Any, node: Optional[int] = None) -> str:
+    def alloc(
+        self,
+        oid: str,
+        value: Any,
+        node: Optional[int] = None,
+        payload_size: Optional[int] = None,
+    ) -> str:
         """Create shared object ``oid`` with ``value`` at ``node``.
 
         When ``node`` is omitted, objects are spread round-robin.  The
         home directory entry is installed directly (bootstrap happens
         before the simulation starts, so no messages are exchanged).
+        ``payload_size`` declares the object's bulk-byte footprint on the
+        payload plane (defaults to the plane-wide size; ignored when the
+        plane is off).
         """
         if node is None:
             node = self._alloc_count % self.config.num_nodes
@@ -293,6 +324,9 @@ class Cluster:
         self.directories[home].register(
             oid, owner=node, version=0, value=value, value_version=0
         )
+        if self.payload_plane is not None:
+            self.payload_plane.register(oid, node, size=payload_size)
+            self.proxies[node].store[oid].payload_src = node
         return oid
 
     # ------------------------------------------------------------------
@@ -386,6 +420,37 @@ class Cluster:
             return {"batches": 0.0, "batched_messages": 0.0,
                     "mean_batch": 0.0, "max_batch": 0.0}
         return {k: float(v) for k, v in self.batcher.stats().items()}
+
+    def payload_stats(self) -> Dict[str, float]:
+        """Payload-plane counters (zeros when the plane is off)."""
+        if self.payload_plane is None:
+            return {
+                "payload_bytes_on_wire": 0.0,
+                "control_bytes_on_wire": 0.0,
+                "grant_bytes_on_wire": 0.0,
+                "payload_fetch_bytes": 0.0,
+                "payload_fetches": 0.0,
+                "payload_cache_hits": 0.0,
+                "payload_cache_misses": 0.0,
+                "payload_cache_hit_rate": 0.0,
+            }
+        totals = self.payload_plane.totals()
+        fetch_bytes = self.payload_plane.fetch_bytes
+        return {
+            "payload_bytes_on_wire": float(self.network.payload_bytes),
+            "control_bytes_on_wire": float(self.network.control_bytes),
+            # bytes riding control-plane grants/hand-offs: full payloads
+            # in eager mode, constant ObjectProxy descriptors in proxy
+            # mode — the flat-vs-linear axis bench_payload plots
+            "grant_bytes_on_wire": float(
+                self.network.payload_bytes - fetch_bytes
+            ),
+            "payload_fetch_bytes": float(fetch_bytes),
+            "payload_fetches": float(totals["fetches"]),
+            "payload_cache_hits": float(totals["hits"]),
+            "payload_cache_misses": float(totals["misses"]),
+            "payload_cache_hit_rate": self.payload_plane.hit_rate(),
+        }
 
     def owner_of(self, oid: str) -> Optional[int]:
         """Current registered owner (directory view)."""

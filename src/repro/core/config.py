@@ -22,6 +22,7 @@ __all__ = [
     "ClusterConfig",
     "FaultConfig",
     "ObsConfig",
+    "PayloadConfig",
     "ProfConfig",
     "RpcConfig",
     "SchedulerKind",
@@ -366,6 +367,71 @@ class ArrivalConfig:
 
 
 @dataclass(frozen=True)
+class PayloadConfig:
+    """Parameterisation of the payload plane / control plane split.
+
+    With ``enabled=False`` (the default) the cluster builds no payload
+    plane, the network installs no bytes-on-wire cost model and no
+    ``PAYLOAD_FETCH`` handler is registered: the timeline is
+    byte-identical to a build without the subsystem (strict additivity,
+    pinned by ``tests/rpc/test_equivalence.py``).
+
+    With ``enabled=True`` every object carries a declared
+    ``payload_size`` (bytes) and every remote message pays a
+    bytes-on-wire cost — ``wire / bandwidth + wire * ser_per_byte`` on
+    top of the existing link latency, where ``wire`` is the message's
+    control envelope plus any attached payload bytes.  Two modes:
+
+    * ``proxy=False`` (*eager bytes*): object grants, hand-offs and
+      ownership transfers ship the declared payload inline, so protocol
+      traffic scales with object size — today's semantics, now costed.
+    * ``proxy=True`` (*control-plane proxies*, ProxyStore's
+      pass-by-reference model): migrations move only a constant-size
+      :class:`~repro.dstm.objects.ObjectProxy` (factory + home + version
+      fence); bytes resolve lazily over a ``PAYLOAD_FETCH`` RPC only
+      when the destination actually reads the object, backed by a
+      per-node resolved-bytes cache keyed by the version fences — fence
+      bumps invalidate stale bytes by construction, and validation-only
+      paths commit without ever pulling bytes.
+    """
+
+    enabled: bool = False
+    #: move ObjectProxy on the control plane + lazy PAYLOAD_FETCH;
+    #: False ships payload bytes inline with grants/hand-offs (eager)
+    proxy: bool = False
+    #: default declared payload bytes per object (a workload's
+    #: ``payload_size`` spec or an ``alloc(payload_size=...)`` overrides)
+    size: int = 0
+    #: per-link bandwidth, bytes/second (default 125 MB/s = 1 Gbit/s)
+    bandwidth: float = 125e6
+    #: per-byte serialization/deserialization delay, seconds/byte
+    ser_per_byte: float = 1e-9
+    #: control envelope charged per remote message, bytes
+    control_size: int = 256
+    #: extra control-plane bytes a proxy-mode grant carries (the
+    #: ObjectProxy descriptor itself)
+    proxy_size: int = 64
+    #: per-node resolved-bytes cache capacity (objects); None = unbounded
+    cache_capacity: Optional[int] = None
+
+    def replace(self, **changes) -> "PayloadConfig":
+        """A modified copy (sugar over :func:`dataclasses.replace`)."""
+        return dataclasses.replace(self, **changes)
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError(f"size must be >= 0, got {self.size}")
+        if self.bandwidth <= 0:
+            raise ValueError(f"bandwidth must be > 0, got {self.bandwidth}")
+        if self.ser_per_byte < 0:
+            raise ValueError("ser_per_byte must be >= 0")
+        if self.control_size < 0 or self.proxy_size < 0:
+            raise ValueError("control_size/proxy_size must be >= 0")
+        if self.cache_capacity is not None and self.cache_capacity < 1:
+            raise ValueError("cache_capacity must be >= 1 (or None)")
+
+
+@dataclass(frozen=True)
 class ClusterConfig:
     """Full parameterisation of a simulated D-STM deployment."""
 
@@ -455,6 +521,9 @@ class ClusterConfig:
     #: kernel profiler (repro.prof); disabled by default and strictly
     #: additive — the run loop pays one guard, the timeline is unchanged
     prof: ProfConfig = ProfConfig()
+    #: payload/control plane split; disabled by default and strictly
+    #: additive — no cost model, no proxies, no payload caches
+    payload: PayloadConfig = PayloadConfig()
 
     def replace(self, **changes) -> "ClusterConfig":
         """A modified copy (sugar over :func:`dataclasses.replace`)."""
@@ -486,3 +555,5 @@ class ClusterConfig:
             object.__setattr__(self, "check", CheckConfig(**self.check))
         if isinstance(self.prof, dict):
             object.__setattr__(self, "prof", ProfConfig(**self.prof))
+        if isinstance(self.payload, dict):
+            object.__setattr__(self, "payload", PayloadConfig(**self.payload))

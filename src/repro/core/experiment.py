@@ -104,6 +104,10 @@ def run_experiment(
         workload_name, read_fraction=read_fraction, **(workload_kwargs or {})
     )
     cluster = Cluster(config)
+    if cluster.payload_plane is not None and workload.payload_size is not None:
+        # The workload's declared size spec becomes the plane-wide
+        # default before any alloc() runs in executor.setup().
+        cluster.payload_plane.default_size = int(workload.payload_size)
     if config.arrival.enabled:
         # Lazy import: repro.traffic imports repro.core right back.
         from repro.traffic.engine import OpenLoopExecutor
@@ -194,6 +198,18 @@ def _extra(
             rpc_batched_messages=int(bs["batched_messages"]),
             rpc_mean_batch=round(bs["mean_batch"], 3),
             rpc_max_batch=int(bs["max_batch"]),
+        )
+    if cluster.payload_plane is not None:
+        ps = cluster.payload_stats()
+        extra.update(
+            payload_mode="proxy" if cluster.payload_plane.proxy_mode else "eager",
+            payload_bytes_on_wire=int(ps["payload_bytes_on_wire"]),
+            control_bytes_on_wire=int(ps["control_bytes_on_wire"]),
+            grant_bytes_on_wire=int(ps["grant_bytes_on_wire"]),
+            payload_fetch_bytes=int(ps["payload_fetch_bytes"]),
+            payload_fetches=int(ps["payload_fetches"]),
+            payload_cache_hits=int(ps["payload_cache_hits"]),
+            payload_cache_hit_rate=round(ps["payload_cache_hit_rate"], 4),
         )
     if cluster.profiler is not None:
         pc = cluster.config.prof

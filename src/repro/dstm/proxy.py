@@ -58,7 +58,10 @@ __all__ = ["Grant", "TMProxy"]
 class Grant:
     """What a successful ``Open_Object`` returns."""
 
-    __slots__ = ("oid", "value", "version", "owner_clock", "local_cl", "served_by")
+    __slots__ = (
+        "oid", "value", "version", "owner_clock", "local_cl", "served_by",
+        "psrc",
+    )
 
     def __init__(
         self,
@@ -68,6 +71,7 @@ class Grant:
         owner_clock: int,
         local_cl: int,
         served_by: int,
+        psrc: Optional[int] = None,
     ) -> None:
         self.oid = oid
         self.value = value
@@ -75,6 +79,10 @@ class Grant:
         self.owner_clock = owner_clock
         self.local_cl = local_cl
         self.served_by = served_by
+        #: payload plane (proxy mode): node advertised as holding the
+        #: bytes for this version — the ObjectProxy factory.  None when
+        #: the plane is off or bytes rode the grant eagerly.
+        self.psrc = psrc
 
     def __repr__(self) -> str:
         return f"<Grant {self.oid} v{self.version} from n{self.served_by}>"
@@ -133,6 +141,11 @@ class TMProxy:
         #: when CheckConfig.sanitize is on, else every hook stays a
         #: one-guard no-op
         self.sanitizer = None
+        #: payload plane (repro.rpc.payload): this node's resolved-bytes
+        #: cache, set via :meth:`enable_payload` when
+        #: ``PayloadConfig.enabled``; None keeps every hook a one-guard
+        #: no-op and the timeline byte-identical
+        self.payload = None
         scheduler.bind(node.node_id)
 
         #: objects owned by this node
@@ -190,6 +203,106 @@ class TMProxy:
         obj = VersionedObject(oid, value, version)
         self.store[oid] = obj
         return obj
+
+    def enable_payload(self, node_payload: Any) -> None:
+        """Attach this node's payload-plane cache and start serving
+        ``PAYLOAD_FETCH`` (cluster bootstrap, payload plane on only)."""
+        self.payload = node_payload
+        self.node.on(MessageType.PAYLOAD_FETCH, self._on_payload_fetch)
+
+    def _grant_wire_bytes(self, oid: str) -> int:
+        """Bytes a value-carrying grant/hand-off for ``oid`` ships."""
+        pp = self.payload
+        return 0 if pp is None else pp.plane.grant_bytes(oid)
+
+    # ------------------------------------------------------------------
+    # Payload plane (repro.rpc.payload): lazy byte resolution
+    # ------------------------------------------------------------------
+
+    def resolve_payload(self, grant: Grant) -> Generator[Any, Any, None]:
+        """Materialise the bytes behind ``grant`` at this node
+        (generator; ``yield from``).
+
+        Proxy mode only — eager mode shipped the bytes with the grant.
+        The resolved-bytes cache is keyed by the version fence, so a hit
+        costs nothing and a fence bump (any committed write) misses by
+        construction.  A miss fetches from the grant's advertised
+        factory, falling back once to the plane's current source; if
+        both refuse (the fence moved mid-flight) or the factory is
+        unreachable under faults, the read proceeds without bytes — the
+        semantic value is already in hand, and commit-time validation
+        arbitrates staleness exactly as before.
+        """
+        pp = self.payload
+        if pp is None or not pp.plane.proxy_mode:
+            return
+        oid, version = grant.oid, grant.version
+        hit = pp.lookup(oid, version)
+        if self.tracer.wants("payload.fetch"):
+            self.tracer.emit(
+                self.env.now, "payload.fetch", oid,
+                node=f"n{self.node.node_id}", hit=hit,
+                bytes=0 if hit else pp.plane.size_of(oid),
+            )
+        if hit:
+            return
+        src = grant.psrc if grant.psrc is not None else pp.plane.source.get(oid)
+        if src is None or src == self.node.node_id:
+            # We are the factory (we committed these bytes, or the grant
+            # predates the plane's bookkeeping): materialise locally.
+            pp.install(oid, version)
+            return
+        ok = yield from self._fetch_payload(oid, version, src)
+        if not ok:
+            alt = pp.plane.source.get(oid)
+            if alt is not None and alt not in (src, self.node.node_id):
+                yield from self._fetch_payload(oid, version, alt)
+
+    def _fetch_payload(
+        self, oid: str, version: int, src: int
+    ) -> Generator[Any, Any, bool]:
+        pp = self.payload
+        pp.fetches += 1
+        try:
+            reply = yield from self.rpc(
+                src, MessageType.PAYLOAD_FETCH,
+                {"oid": oid, "version": version},
+            )
+        except OwnerUnreachable:
+            return False
+        p = reply.payload
+        if p.get("ok"):
+            pp.install(oid, int(p["version"]))
+            return True
+        return False
+
+    def _on_payload_fetch(self, msg: Message) -> None:
+        """Serve bytes for ``(oid, version)`` from this node's resolved
+        store.  Serves only at the exact requested fence — bytes for any
+        other fence would be stale (or fabricated) the moment they land."""
+        p = msg.payload
+        oid: str = p["oid"]
+        want = int(p["version"])
+        pp = self.payload
+        have = pp.cache_version(oid)
+        if have == want:
+            if self.sanitizer is not None:
+                self.sanitizer.check_payload_serve(
+                    oid, want, node=self.node.node_id, now=self.env.now
+                )
+            pp.served += 1
+            pp.plane.fetch_bytes += pp.plane.size_of(oid)
+            self.node.reply(
+                msg, MessageType.PAYLOAD_FETCH_REPLY,
+                {"oid": oid, "ok": True, "version": want},
+                wire_bytes=pp.plane.size_of(oid),
+            )
+        else:
+            pp.refused += 1
+            self.node.reply(
+                msg, MessageType.PAYLOAD_FETCH_REPLY,
+                {"oid": oid, "ok": False, "version": have},
+            )
 
     # ------------------------------------------------------------------
     # RPC with timeout/retry (fault recovery)
@@ -417,6 +530,7 @@ class TMProxy:
         owner_clock = (
             reply.clock if reply is not None else int(payload.get("owner_clock", 0))
         )
+        psrc = payload.get("psrc")
         grant = Grant(
             oid=oid,
             value=payload["value"],
@@ -424,6 +538,7 @@ class TMProxy:
             owner_clock=owner_clock,
             local_cl=int(payload.get("local_cl", 0)),
             served_by=served_by,
+            psrc=int(psrc) if psrc is not None else None,
         )
         root.known_cl[oid] = grant.local_cl
         if mode is ObjectMode.ACQUIRE:
@@ -466,6 +581,19 @@ class TMProxy:
             return  # late duplicate of a transfer we have moved past
         self._granted.pop(oid, None)
         obj = VersionedObject(oid, payload["value"], int(payload["version"]))
+        if self.payload is not None:
+            if self.payload.plane.proxy_mode:
+                # Ownership migrated; the bytes did not.  Keep pointing
+                # at the factory until a commit materializes new bytes
+                # here.
+                psrc = payload.get("psrc")
+                obj.payload_src = int(psrc) if psrc is not None else None
+            else:
+                # Eager mode: the payload rode this transfer inline.
+                obj.payload_src = self.node.node_id
+                self.payload.plane.note_materialize(
+                    self.node.node_id, oid, obj.version
+                )
         if holder is not None:
             # Acquisition happens mid-commit: straight into validation.
             obj.state = ObjectState.VALIDATING
@@ -532,7 +660,10 @@ class TMProxy:
                 # and refresh the grant age: the requester is alive, so
                 # the orphan sweep must not repatriate under it.
                 self._granted[oid] = (cached[0], cached[1], cached[2], self.env.now)
-                self.node.reply(msg, MessageType.RETRIEVE_RESPONSE, dict(cached[2]))
+                self.node.reply(
+                    msg, MessageType.RETRIEVE_RESPONSE, dict(cached[2]),
+                    wire_bytes=self._grant_wire_bytes(oid),
+                )
                 return
             self.node.reply(
                 msg, MessageType.RETRIEVE_RESPONSE,
@@ -684,6 +815,11 @@ class TMProxy:
             "local_cl": local_cl,
             "served_by": self.node.node_id,
         }
+        if self.payload is not None and self.payload.plane.proxy_mode:
+            # Control-plane proxy: advertise the byte factory instead of
+            # shipping the payload (the semantic value above is protocol
+            # metadata; the bulk bytes resolve lazily at the reader).
+            payload["psrc"] = obj.payload_src
         if transferred:
             payload["transferred"] = True
             queue = self.queues.pop(obj.oid, None)
@@ -700,7 +836,10 @@ class TMProxy:
                 self._granted[obj.oid] = (
                     msg.src, msg.payload["txid"], dict(payload), self.env.now
                 )
-        self.node.reply(msg, MessageType.RETRIEVE_RESPONSE, payload)
+        self.node.reply(
+            msg, MessageType.RETRIEVE_RESPONSE, payload,
+            wire_bytes=self._grant_wire_bytes(obj.oid),
+        )
 
     def _local_cl(self, oid: str) -> int:
         """Transactions currently wanting ``oid`` here: the queue, plus
@@ -786,6 +925,8 @@ class TMProxy:
             "served_by": self.node.node_id,
             "owner_clock": self.node.clock.tfa_clock,
         }
+        if self.payload is not None and self.payload.plane.proxy_mode:
+            handoff["psrc"] = obj.payload_src
         if self.rpc_policy is not None:
             # Same in-flight hazard as a transferred grant: if this
             # hand-off is dropped, the acquirer's re-request (its backoff
@@ -793,23 +934,29 @@ class TMProxy:
             self._granted[oid] = (
                 acquirer.node, acquirer.txid, dict(handoff), self.env.now
             )
-        self.node.send(acquirer.node, MessageType.OBJECT_HANDOFF, handoff)
+        self.node.send(
+            acquirer.node, MessageType.OBJECT_HANDOFF, handoff,
+            wire_bytes=self._grant_wire_bytes(oid),
+        )
         if queue_trace:
             # The queue (and backlog) just migrated away with the object.
             self._trace_queue(oid)
 
     def _send_handoff(self, requester: Requester, obj: VersionedObject, transferred: bool) -> None:
+        payload: Dict[str, Any] = {
+            "oid": obj.oid, "txid": requester.txid,
+            "mode": requester.mode.value,
+            "granted": True, "transferred": transferred,
+            "value": obj.value, "version": obj.version,
+            "local_cl": 0,
+            "served_by": self.node.node_id,
+            "owner_clock": self.node.clock.tfa_clock,
+        }
+        if self.payload is not None and self.payload.plane.proxy_mode:
+            payload["psrc"] = obj.payload_src
         self.node.send(
-            requester.node, MessageType.OBJECT_HANDOFF,
-            {
-                "oid": obj.oid, "txid": requester.txid,
-                "mode": requester.mode.value,
-                "granted": True, "transferred": transferred,
-                "value": obj.value, "version": obj.version,
-                "local_cl": 0,
-                "served_by": self.node.node_id,
-                "owner_clock": self.node.clock.tfa_clock,
-            },
+            requester.node, MessageType.OBJECT_HANDOFF, payload,
+            wire_bytes=self._grant_wire_bytes(obj.oid),
         )
 
     # ------------------------------------------------------------------

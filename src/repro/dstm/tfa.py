@@ -124,6 +124,14 @@ class TFAEngine:
 
         grant = yield from self.proxy.open_object(tx, oid, ObjectMode.READ)
         yield from self.maybe_forward(tx, grant.owner_clock)
+        if self.proxy.payload is not None:
+            # Payload plane, proxy mode: the grant carried an ObjectProxy,
+            # and this read is the moment the destination actually touches
+            # the object — resolve the bytes (per-node cache keyed by the
+            # version fence; a miss is one PAYLOAD_FETCH round trip).
+            # Repeated reads above never reach here, blind writes and
+            # commit-time acquisitions never resolve at all.
+            yield from self.proxy.resolve_payload(grant)
         entry = ReadEntry(oid, grant.version, grant.served_by)
         entry.value = grant.value
         tx.rset[oid] = entry
@@ -462,7 +470,16 @@ class TFAEngine:
         self.node.clock.tick()
         root.serialized_at = self.env.now
         for oid, value in root.wset.items():
-            self.proxy.store[oid].commit_write(value)
+            obj = self.proxy.store[oid]
+            obj.commit_write(value)
+            if self.proxy.payload is not None:
+                # The committer just produced the bytes of the new version
+                # locally: it becomes the payload factory for this fence,
+                # and every remote cache entry is stale by construction.
+                obj.payload_src = self.node.node_id
+                self.proxy.payload.plane.note_materialize(
+                    self.node.node_id, oid, obj.version
+                )
             if self.proxy.owner_hints.fencing:
                 # Advance our own cache entry to the registered version,
                 # or the next validate reply would fence the entry for an

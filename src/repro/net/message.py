@@ -62,6 +62,10 @@ class MessageType(str, enum.Enum):
     ARROW_FIND = "arrow_find"
     ARROW_TOKEN = "arrow_token"
 
+    # Payload plane (repro.rpc.payload): lazy out-of-band byte transfer
+    PAYLOAD_FETCH = "payload_fetch"          # reader -> byte factory
+    PAYLOAD_FETCH_REPLY = "payload_fetch_reply"
+
     # Generic
     PING = "ping"
     PONG = "pong"
@@ -88,6 +92,10 @@ class Message:
     msg_id: int = field(default_factory=lambda: next(_msg_ids))
     #: simulation time the message was sent (set by the network)
     sent_at: float = 0.0
+    #: payload-plane bytes riding this message, on top of the control
+    #: envelope (0 for pure control traffic; only the network's optional
+    #: bytes-on-wire cost model ever reads it)
+    wire_bytes: int = 0
 
     def __post_init__(self) -> None:
         # Coerce only when needed: almost every construction site already

@@ -9,6 +9,7 @@ after ``local_delay`` (default 0: a function call, not a network hop).
 
 from __future__ import annotations
 
+import copy
 from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 from repro.net.message import Message, MessageType
@@ -18,7 +19,37 @@ from repro.sim import Counter, Environment, Tracer
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.net.node import Node
 
-__all__ = ["Network"]
+__all__ = ["Network", "WireCostModel"]
+
+
+class WireCostModel:
+    """Bytes-on-wire charging for remote messages (payload plane).
+
+    Every remote message pays ``wire / bandwidth(src, dst) + wire *
+    ser_per_byte`` of extra delay on top of the static link latency,
+    where ``wire = control_size + msg.wire_bytes`` — a fixed control
+    envelope plus whatever payload bytes the sender attached.  Installed
+    on the :class:`Network` only when ``PayloadConfig.enabled``; a
+    ``None`` model keeps the pre-payload timeline byte-identical.
+    """
+
+    __slots__ = ("bandwidth_of", "ser_per_byte", "control_size")
+
+    def __init__(
+        self,
+        bandwidth_of: Callable[[int, int], float],
+        ser_per_byte: float,
+        control_size: int,
+    ) -> None:
+        self.bandwidth_of = bandwidth_of
+        self.ser_per_byte = float(ser_per_byte)
+        self.control_size = int(control_size)
+
+    def extra_delay(self, src: int, dst: int, payload_bytes: int) -> float:
+        wire = self.control_size + payload_bytes
+        return (
+            wire / self.bandwidth_of(src, dst) + wire * self.ser_per_byte
+        )
 
 
 class Network:
@@ -46,11 +77,19 @@ class Network:
         #: sends coalesce per link for one window before flushing (local
         #: sends never batch — they are function calls, not wire traffic).
         self.batcher = None
+        #: optional :class:`WireCostModel`; when set, every remote send
+        #: additionally pays a bytes-on-wire transfer + serialization
+        #: delay and the byte counters below accumulate.
+        self.cost: Optional[WireCostModel] = None
         # Instrumentation
         self.messages_sent = Counter("net.messages_sent")
         self.messages_delivered = Counter("net.messages_delivered")
         self.total_delay = 0.0
         self.per_type: Dict[MessageType, int] = {}
+        #: control-envelope bytes shipped over remote links (cost model on)
+        self.control_bytes = 0
+        #: payload-plane bytes shipped over remote links (cost model on)
+        self.payload_bytes = 0
 
     # -- membership -----------------------------------------------------------
 
@@ -83,6 +122,10 @@ class Network:
             if msg.src == msg.dst
             else self._link_delay(msg.src, msg.dst)
         )
+        if self.cost is not None and msg.src != msg.dst:
+            delay += self.cost.extra_delay(msg.src, msg.dst, msg.wire_bytes)
+            self.control_bytes += self.cost.control_size
+            self.payload_bytes += msg.wire_bytes
         self.messages_sent.increment()
         self.per_type[msg.mtype] = self.per_type.get(msg.mtype, 0) + 1
         self.total_delay += delay
@@ -109,13 +152,18 @@ class Network:
 
     def _clone(self, msg: Message) -> Message:
         """A duplicate delivery: fresh msg_id (the wire re-delivered the
-        datagram; it is *not* the same RPC), shallow-copied payload."""
-        copy = Message(
-            msg.mtype, msg.src, msg.dst, dict(msg.payload),
+        datagram; it is *not* the same RPC), deep-copied payload.  The
+        deep copy matters: hand-off payloads nest mutable state (requester
+        queues, proxy/fence dicts) that the first delivery's receiver
+        absorbs and mutates — a shallow copy would alias the duplicate to
+        that now-live state instead of re-delivering the original bytes."""
+        dup = Message(
+            msg.mtype, msg.src, msg.dst, copy.deepcopy(msg.payload),
             clock=msg.clock, reply_to=msg.reply_to,
         )
-        copy.sent_at = msg.sent_at
-        return copy
+        dup.sent_at = msg.sent_at
+        dup.wire_bytes = msg.wire_bytes
+        return dup
 
     def _deliver(self, event) -> None:
         self._deliver_one(event.value)

@@ -140,8 +140,15 @@ class Node:
         mtype: MessageType,
         payload: Optional[dict] = None,
         reply_to: Optional[int] = None,
+        wire_bytes: int = 0,
     ) -> Message:
-        """Fire-and-forget send; returns the message (for its id)."""
+        """Fire-and-forget send; returns the message (for its id).
+
+        ``wire_bytes`` declares payload-plane bytes riding the message
+        (object bodies, eager grants); the network's optional cost model
+        charges them, so they must be set here — before dispatch — not
+        patched onto the message afterwards.
+        """
         msg = Message(
             mtype,
             self.node_id,
@@ -150,12 +157,22 @@ class Node:
             clock=self.clock.tfa_clock,
             reply_to=reply_to,
         )
+        if wire_bytes:
+            msg.wire_bytes = wire_bytes
         self.network.send(msg)
         return msg
 
-    def reply(self, to: Message, mtype: MessageType, payload: Optional[dict] = None) -> Message:
+    def reply(
+        self,
+        to: Message,
+        mtype: MessageType,
+        payload: Optional[dict] = None,
+        wire_bytes: int = 0,
+    ) -> Message:
         """Answer a request message."""
-        return self.send(to.src, mtype, payload, reply_to=to.msg_id)
+        return self.send(
+            to.src, mtype, payload, reply_to=to.msg_id, wire_bytes=wire_bytes
+        )
 
     def request(
         self,

@@ -48,11 +48,18 @@ class Topology:
         min_delay: float = 1.0 * MS,
         max_delay: float = 50.0 * MS,
         num_clusters: int = 4,
+        bandwidth: Optional[float] = None,
     ) -> None:
         if num_nodes < 1:
             raise ValueError(f"need >= 1 node, got {num_nodes}")
         if not 0 < min_delay <= max_delay:
             raise ValueError(f"need 0 < min_delay <= max_delay, got [{min_delay}, {max_delay}]")
+        if bandwidth is not None and bandwidth <= 0:
+            raise ValueError(f"bandwidth must be > 0, got {bandwidth}")
+        #: per-link bandwidth baseline (bytes/second); None until the
+        #: payload plane installs one — :meth:`bandwidth_of` is the
+        #: per-link lookup the wire cost model binds.
+        self.link_bandwidth = float(bandwidth) if bandwidth is not None else None
         self.num_nodes = num_nodes
         self.kind = TopologyKind(kind)
         self.min_delay = float(min_delay)
@@ -108,6 +115,19 @@ class Topology:
     def delay(self, src: int, dst: int) -> float:
         """One-way link delay between ``src`` and ``dst`` (0 for src==dst)."""
         return self._delay_rows[src][dst]
+
+    def bandwidth_of(self, src: int, dst: int) -> float:
+        """Link bandwidth in bytes/second between ``src`` and ``dst``.
+
+        The link structure mirrors :meth:`delay`: static and symmetric.
+        Today every link shares one configured baseline (the payload
+        plane's ``PayloadConfig.bandwidth``); the per-link signature is
+        the extension point for heterogeneous fabrics.  Raises if no
+        bandwidth was configured (payload plane off).
+        """
+        if self.link_bandwidth is None:
+            raise ValueError("topology has no bandwidth configured")
+        return self.link_bandwidth
 
     def distance(self, src: int, dst: int) -> float:
         """Metric distance d(n_src, n_dst)."""

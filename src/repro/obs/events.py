@@ -37,6 +37,10 @@ Categories (the span/series/audit model; see DESIGN.md "Observability"):
 ``rpc.cache``
     One directory-lookup cache probe on the open path: ``node`` and
     ``hit`` (the cluster-level hit rate is this series reduced).
+``payload.fetch``
+    One payload-plane resolve at first actual read of a grant: ``node``,
+    ``hit`` (resolved-bytes cache probe at the grant's version fence)
+    and ``bytes`` (bulk bytes pulled on a miss; 0 on a hit).
 ``obs.queue``
     Gauge: per-object requester-queue length at its owner (``node``,
     ``len``) whenever it changes.
@@ -96,6 +100,7 @@ OBS_CATEGORIES = frozenset(
         "rpc.done",
         "rpc.batch",
         "rpc.cache",
+        "payload.fetch",
         "obs.queue",
         "traffic.arrival",
         "traffic.dispatch",
@@ -129,6 +134,7 @@ _REQUIRED: Dict[str, frozenset] = {
     "rpc.done": frozenset({"node", "dst", "ok", "retries"}),
     "rpc.batch": frozenset({"size"}),
     "rpc.cache": frozenset({"node", "hit"}),
+    "payload.fetch": frozenset({"node", "hit"}),
     "obs.queue": frozenset({"node", "len"}),
     "traffic.arrival": frozenset({"node", "admitted", "phase"}),
     "traffic.dispatch": frozenset({"node", "arrived", "waited"}),

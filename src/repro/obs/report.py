@@ -122,6 +122,9 @@ def summarize(
     # key's absence keeps closed-loop summaries byte-identical.
     if series.traffic or series.phases:
         summary["traffic"] = series.traffic_summary()
+    # Present only for proxy-mode payload runs (payload.fetch events).
+    if series.payload:
+        summary["payload"] = series.payload_summary()
     # Latency anatomy + wasted work (repro.prof) — present whenever the
     # log carries spans; span-free logs keep the old summary shape.
     if completed:
@@ -280,6 +283,32 @@ def render(summary: Dict[str, Any], fault_limit: int = 12) -> str:
                     f"  {p['t']:10.4f}s  {p['name']:<16} "
                     f"rate x{p['rate_scale']:.2f}"
                 )
+
+    payload = summary.get("payload")
+    if payload:
+        out.append("\n## payload plane")
+        out.append(
+            f"  {payload['resolves']} resolves | "
+            f"hits {payload['hits']} "
+            f"({payload['hit_rate'] * 100:.1f}%) | "
+            f"misses {payload['misses']} | "
+            f"fetched {payload['fetched_bytes']} bytes"
+        )
+        if payload["nodes"]:
+            out.append(
+                _table(
+                    ["node", "resolves", "hits", "misses", "hit%",
+                     "fetched bytes"],
+                    [
+                        [
+                            r["node"], str(r["resolves"]), str(r["hits"]),
+                            str(r["misses"]), f"{r['hit_rate'] * 100:.1f}",
+                            str(r["fetched_bytes"]),
+                        ]
+                        for r in payload["nodes"]
+                    ],
+                )
+            )
 
     anatomy = summary.get("anatomy")
     if anatomy and anatomy.get("roots"):

@@ -28,7 +28,10 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.sim.monitor import TimeWeighted
 from repro.util.stats import Ewma
 
-__all__ = ["NodeSeries", "ObjectSeries", "SeriesTracker", "TrafficSeries"]
+__all__ = [
+    "NodeSeries", "ObjectSeries", "PayloadSeries", "SeriesTracker",
+    "TrafficSeries",
+]
 
 #: cap on the retained fault timeline (drops are counted, not silent)
 FAULT_TIMELINE_CAP = 4096
@@ -100,6 +103,20 @@ class TrafficSeries:
         self.wait_max = 0.0
 
 
+class PayloadSeries:
+    """Payload-plane resolve aggregates for one node (proxy mode only)."""
+
+    __slots__ = ("tag", "hits", "misses", "bytes")
+
+    def __init__(self, tag: str) -> None:
+        self.tag = tag
+        #: resolved-bytes cache probes at the grant's version fence
+        self.hits = 0
+        self.misses = 0
+        #: bulk bytes pulled by this node's misses
+        self.bytes = 0
+
+
 class SeriesTracker:
     """Streaming reducer over the observability event stream."""
 
@@ -120,6 +137,8 @@ class SeriesTracker:
         self.faults_dropped = 0
         #: per-node admission-plane series (empty unless traffic.* seen)
         self.traffic: Dict[str, TrafficSeries] = {}
+        #: per-node payload-plane series (empty unless payload.fetch seen)
+        self.payload: Dict[str, PayloadSeries] = {}
         #: scenario phase boundaries: (t, name, rate_scale)
         self.phases: List[Tuple[float, str, float]] = []
         self.events = 0
@@ -189,6 +208,17 @@ class SeriesTracker:
                 node.cache_hits += 1
             else:
                 node.cache_misses += 1
+        elif cat == "payload.fetch":
+            tag = event["node"]
+            ps = self.payload.get(tag)
+            if ps is None:
+                ps = PayloadSeries(tag)
+                self.payload[tag] = ps
+            if event["hit"]:
+                ps.hits += 1
+            else:
+                ps.misses += 1
+                ps.bytes += int(event.get("bytes", 0))
         elif cat == "rpc.batch":
             size = int(event["size"])
             self.batches += 1
@@ -373,6 +403,38 @@ class SeriesTracker:
             ],
         }
 
+    def payload_rows(self) -> List[Dict[str, Any]]:
+        """Per-node payload-plane resolve rows (sorted by node tag)."""
+        rows = []
+        for tag in sorted(self.payload, key=_node_sort_key):
+            ps = self.payload[tag]
+            probes = ps.hits + ps.misses
+            rows.append(
+                {
+                    "node": tag,
+                    "resolves": probes,
+                    "hits": ps.hits,
+                    "misses": ps.misses,
+                    "hit_rate": ps.hits / probes if probes else 0.0,
+                    "fetched_bytes": ps.bytes,
+                }
+            )
+        return rows
+
+    def payload_summary(self) -> Dict[str, Any]:
+        """Cluster-wide payload-plane resolve totals (proxy mode only)."""
+        hits = sum(ps.hits for ps in self.payload.values())
+        misses = sum(ps.misses for ps in self.payload.values())
+        probes = hits + misses
+        return {
+            "resolves": probes,
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / probes if probes else 0.0,
+            "fetched_bytes": sum(ps.bytes for ps in self.payload.values()),
+            "nodes": self.payload_rows(),
+        }
+
     def snapshot(self, now: Optional[float] = None) -> Dict[str, Any]:
         """One JSON-able summary of everything tracked."""
         out = {
@@ -390,6 +452,9 @@ class SeriesTracker:
         # otherwise leaves every existing snapshot byte-identical.
         if self.traffic or self.phases:
             out["traffic"] = self.traffic_summary()
+        # Likewise, only proxy-mode payload runs emit payload.fetch.
+        if self.payload:
+            out["payload"] = self.payload_summary()
         return out
 
 

@@ -17,7 +17,8 @@ CLI (``python -m repro.prof.trend``)::
     trend show HISTORY [--bench B]                       # trajectory table
     trend check HISTORY --bench B --floor 50000          # absolute floor
     trend check HISTORY --bench B --regress-pct 20       # vs best previous
-    trend seed HISTORY --par BENCH_PAR.json --serving BENCH_SERVING.json
+    trend seed HISTORY --par BENCH_PAR.json --serving BENCH_SERVING.json \
+        --payload BENCH_PAYLOAD.json
 
 ``append`` accepts either a row-shaped payload or the raw
 ``bench_kernel --json`` output (its ``events_per_sec`` map becomes the
@@ -240,6 +241,7 @@ def render_show(rows: List[Dict[str, Any]], bench: Optional[str] = None) -> str:
 def seed_rows(
     par: Optional[Dict[str, Any]] = None,
     serving: Optional[Dict[str, Any]] = None,
+    payload: Optional[Dict[str, Any]] = None,
     git_sha: Optional[str] = None,
     date: Optional[str] = None,
 ) -> List[Dict[str, Any]]:
@@ -248,7 +250,9 @@ def seed_rows(
     BENCH_PAR.json contributes the kernel events/sec trajectory (its
     before/after pair becomes two ``bench_kernel`` rows) plus one
     ``fig4_sweep`` wall-clock row; BENCH_SERVING.json contributes the
-    bisection capacities as one ``bench_serving`` row.
+    bisection capacities as one ``bench_serving`` row;
+    BENCH_PAYLOAD.json contributes the per-commit grant bytes and proxy
+    hit rates across the size axis as one ``bench_payload`` row.
     """
     rows: List[Dict[str, Any]] = []
     if par is not None:
@@ -316,6 +320,33 @@ def seed_rows(
                     "note": "max sustainable offered rate (bisection), tx/s",
                 }
             )
+    if payload is not None:
+        metrics = {}
+        for cell in payload.get("table", []):
+            mode, size = cell.get("mode"), cell.get("size")
+            bpc = cell.get("grant_bytes_per_commit")
+            if not isinstance(bpc, (int, float)) or mode not in (
+                "eager", "proxy",
+            ):
+                continue
+            metrics[f"grant_bpc_{mode}_{size}"] = bpc
+            if mode == "proxy" and isinstance(
+                cell.get("hit_rate"), (int, float)
+            ):
+                metrics[f"hit_rate_proxy_{size}"] = cell["hit_rate"]
+        if metrics:
+            rows.append(
+                {
+                    "schema": SCHEMA_VERSION,
+                    "bench": "bench_payload",
+                    "date": payload.get("date") or date or "unknown",
+                    "git_sha": git_sha,
+                    "host": payload.get("host"),
+                    "metrics": metrics,
+                    "note": "grant bytes per commit and proxy resolve "
+                            "hit rate across the payload-size axis",
+                }
+            )
     for row in rows:
         validate_row(row)
     return rows
@@ -363,6 +394,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_seed.add_argument("history")
     p_seed.add_argument("--par", default=None, metavar="BENCH_PAR.json")
     p_seed.add_argument("--serving", default=None, metavar="BENCH_SERVING.json")
+    p_seed.add_argument("--payload", default=None, metavar="BENCH_PAYLOAD.json")
     p_seed.add_argument("--sha", default=None, help="git SHA to stamp rows with")
     p_seed.add_argument("--date", default=None,
                         help="fallback date for artifacts without one")
@@ -395,18 +427,23 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(message)
             return 0 if ok else 1
         if args.command == "seed":
-            par = serving = None
+            par = serving = payload = None
             if args.par:
                 with open(args.par, "r", encoding="utf-8") as fh:
                     par = json.load(fh)
             if args.serving:
                 with open(args.serving, "r", encoding="utf-8") as fh:
                     serving = json.load(fh)
+            if args.payload:
+                with open(args.payload, "r", encoding="utf-8") as fh:
+                    payload = json.load(fh)
             rows = seed_rows(
-                par=par, serving=serving, git_sha=args.sha, date=args.date
+                par=par, serving=serving, payload=payload,
+                git_sha=args.sha, date=args.date,
             )
             if not rows:
-                print("nothing to seed (give --par and/or --serving)")
+                print("nothing to seed (give --par, --serving "
+                      "and/or --payload)")
                 return 1
             for row in rows:
                 append_row(args.history, row)

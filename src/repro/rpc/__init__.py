@@ -26,6 +26,7 @@ from repro.rpc.client import RpcClient
 from repro.rpc.endpoint import ENDPOINTS, Endpoint, EndpointRegistry, serve
 from repro.rpc.errors import EndpointError, PeerUnreachable
 from repro.rpc.policy import RetryPolicy
+from repro.rpc.payload import NodePayload, PayloadPlane
 
 __all__ = [
     "ENDPOINTS",
@@ -33,6 +34,8 @@ __all__ = [
     "EndpointError",
     "EndpointRegistry",
     "LookupCache",
+    "NodePayload",
+    "PayloadPlane",
     "PeerUnreachable",
     "PiggybackBatcher",
     "RetryPolicy",

@@ -118,6 +118,9 @@ for _ep in (
     Endpoint("orphan_return", MessageType.ORPHAN_RETURN,
              MessageType.ORPHAN_RETURN_ACK,
              required=("oid", "version", "value")),
+    # Payload plane (repro.rpc.payload): lazy out-of-band byte resolve
+    Endpoint("payload_fetch", MessageType.PAYLOAD_FETCH,
+             MessageType.PAYLOAD_FETCH_REPLY, required=("oid", "version")),
     # Generic
     Endpoint("ping", MessageType.PING, MessageType.PONG),
 ):

@@ -1,0 +1,188 @@
+"""The payload plane: declared object sizes, byte sources, resolve caches.
+
+The control plane (directory protocol, grants, validation, commit) keeps
+carrying the *semantic* value of every object exactly as before — that is
+what correctness rides on.  This module models the *bulk bytes* behind
+each object as a separate plane, following ProxyStore's
+pass-by-reference design:
+
+* every object has a declared ``payload_size`` (``PayloadConfig.size``,
+  or a workload / ``alloc`` override) registered here at bootstrap;
+* one :class:`PayloadPlane` per cluster tracks, per object, which node
+  holds the authoritative bytes for the current committed version (the
+  proxy *factory*: the last committer);
+* one :class:`NodePayload` per node is a resolved-bytes cache keyed by
+  ``oid -> version fence``.  A fence bump (any committed write) makes
+  every remote cache entry stale *by construction* — no invalidation
+  traffic exists or is needed;
+* in proxy mode, :meth:`~repro.dstm.proxy.TMProxy.resolve_payload`
+  consults the cache when a transaction actually **reads** an object and
+  issues a ``PAYLOAD_FETCH`` RPC on a miss; blind writes, commit-time
+  acquisitions and validation-only paths never touch the plane, so they
+  never pull bytes.
+
+In eager mode there are no fetches: grants and hand-offs bill the full
+declared size inline (``Message.wire_bytes``), which is the pre-split
+behaviour made visible — the baseline ``bench_payload`` compares
+against.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Dict, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids core<->rpc cycle)
+    from repro.core.config import PayloadConfig
+
+__all__ = ["NodePayload", "PayloadPlane"]
+
+
+class NodePayload:
+    """One node's resolved-bytes cache (oid -> version fence)."""
+
+    __slots__ = (
+        "plane", "node_id", "cache", "capacity",
+        "hits", "misses", "fetches", "served", "refused",
+    )
+
+    def __init__(
+        self, plane: "PayloadPlane", node_id: int, capacity: Optional[int]
+    ) -> None:
+        self.plane = plane
+        self.node_id = node_id
+        #: resolved bytes held here: oid -> the version fence they are
+        #: valid at.  One entry per oid (bytes for an older fence are
+        #: garbage the moment a newer fence exists).
+        self.cache: "OrderedDict[str, int]" = OrderedDict()
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        #: PAYLOAD_FETCH RPCs this node issued (client side)
+        self.fetches = 0
+        #: fetches this node answered with bytes (server side)
+        self.served = 0
+        #: fetches this node could not answer (fence mismatch)
+        self.refused = 0
+
+    # -- client side ----------------------------------------------------
+
+    def lookup(self, oid: str, version: int) -> bool:
+        """Cache probe at ``version``; counts the hit/miss."""
+        hit = self.cache.get(oid) == version
+        if hit:
+            self.hits += 1
+            self.cache.move_to_end(oid)
+        else:
+            self.misses += 1
+        return hit
+
+    def install(self, oid: str, version: int) -> None:
+        """Record that this node now holds bytes for ``(oid, version)``."""
+        stale = self.cache.get(oid)
+        if stale is not None and stale > version:
+            return  # never replace bytes with an older fence
+        self.cache[oid] = version
+        self.cache.move_to_end(oid)
+        if self.capacity is not None and len(self.cache) > self.capacity:
+            # Evict LRU-first, but authoritative copies are pinned:
+            # dropping the only bytes of a current fence would orphan
+            # the payload.  May overshoot capacity if everything is
+            # pinned — correctness beats the bound.
+            for victim in list(self.cache.keys()):
+                if len(self.cache) <= self.capacity:
+                    break
+                if self.plane.source.get(victim) == self.node_id:
+                    continue
+                del self.cache[victim]
+
+    def cache_version(self, oid: str) -> Optional[int]:
+        return self.cache.get(oid)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "fetches": self.fetches,
+            "served": self.served,
+            "refused": self.refused,
+            "cached": len(self.cache),
+        }
+
+
+class PayloadPlane:
+    """Cluster-wide payload bookkeeping (sizes, byte sources, caches)."""
+
+    def __init__(self, config: "PayloadConfig", num_nodes: int) -> None:
+        self.config = config
+        self.num_nodes = num_nodes
+        #: proxy mode moves ObjectProxy descriptors + lazy fetches;
+        #: eager mode bills full payloads inline with grants/hand-offs
+        self.proxy_mode = bool(config.proxy)
+        self.default_size = int(config.size)
+        #: declared payload bytes per oid
+        self.sizes: Dict[str, int] = {}
+        #: node holding the authoritative bytes of each oid's current
+        #: committed fence (the last committer, or the bootstrap node)
+        self.source: Dict[str, int] = {}
+        #: bulk bytes shipped via PAYLOAD_FETCH replies (the out-of-band
+        #: plane); subtracting from the network's payload-byte total
+        #: leaves the bytes that rode control-plane grants/hand-offs
+        self.fetch_bytes = 0
+        self.nodes: Dict[int, NodePayload] = {
+            n: NodePayload(self, n, config.cache_capacity)
+            for n in range(num_nodes)
+        }
+
+    # -- bootstrap ------------------------------------------------------
+
+    def register(
+        self, oid: str, node: int, size: Optional[int] = None, version: int = 0
+    ) -> None:
+        """Declare ``oid``'s payload: ``size`` bytes, born at ``node``."""
+        self.sizes[oid] = self.default_size if size is None else int(size)
+        self.source[oid] = node
+        self.nodes[node].install(oid, version)
+
+    def size_of(self, oid: str) -> int:
+        return self.sizes.get(oid, self.default_size)
+
+    # -- plane transitions ---------------------------------------------
+
+    def note_materialize(self, node: int, oid: str, version: int) -> None:
+        """Bytes for ``(oid, version)`` just came into being at ``node``
+        (a committed write, or an eager inline transfer).  The node
+        becomes the factory for this fence."""
+        self.source[oid] = node
+        self.nodes[node].install(oid, version)
+
+    def grant_bytes(self, oid: str) -> int:
+        """Payload bytes a value-carrying grant/hand-off ships on the
+        wire: the full declared size in eager mode, only the constant
+        ObjectProxy descriptor in proxy mode."""
+        if self.proxy_mode:
+            return self.config.proxy_size
+        return self.size_of(oid)
+
+    # -- reporting ------------------------------------------------------
+
+    def totals(self) -> Dict[str, int]:
+        """Cluster totals over every node's resolve cache."""
+        out = {"hits": 0, "misses": 0, "fetches": 0, "served": 0, "refused": 0}
+        for node in self.nodes.values():
+            out["hits"] += node.hits
+            out["misses"] += node.misses
+            out["fetches"] += node.fetches
+            out["served"] += node.served
+            out["refused"] += node.refused
+        return out
+
+    def hit_rate(self) -> float:
+        t = self.totals()
+        probes = t["hits"] + t["misses"]
+        return t["hits"] / probes if probes else 0.0
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        return {
+            f"n{n}": node.stats() for n, node in sorted(self.nodes.items())
+        }

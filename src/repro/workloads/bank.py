@@ -18,7 +18,7 @@ the total.
 
 from __future__ import annotations
 
-from typing import Any, Generator, List
+from typing import Any, Generator, List, Optional
 
 import numpy as np
 
@@ -89,8 +89,9 @@ class BankWorkload(Workload):
         balance_sample: int = 6,
         max_legs: int = 3,
         open_nesting: bool = False,
+        payload_size: Optional[int] = None,
     ) -> None:
-        super().__init__(read_fraction)
+        super().__init__(read_fraction, payload_size=payload_size)
         if accounts_per_node < 2:
             raise ValueError("need at least 2 accounts per node")
         if max_legs < 1:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Any, Callable, Generator, Tuple
+from typing import Any, Callable, Generator, Optional, Tuple
 
 import numpy as np
 
@@ -56,9 +56,17 @@ class Workload(abc.ABC):
     #: short machine name ("bank", "vacation", ...)
     name: str = "base"
 
-    def __init__(self, read_fraction: float = 0.9) -> None:
+    def __init__(
+        self, read_fraction: float = 0.9, payload_size: Optional[int] = None
+    ) -> None:
         if not 0.0 <= read_fraction <= 1.0:
             raise ValueError(f"read_fraction must be in [0, 1], got {read_fraction}")
+        if payload_size is not None and payload_size < 0:
+            raise ValueError(f"payload_size must be >= 0, got {payload_size}")
+        #: declared bulk-byte footprint of this workload's objects on the
+        #: payload plane (None = use PayloadConfig.size; ignored when the
+        #: plane is disabled)
+        self.payload_size = payload_size
         self.read_fraction = float(read_fraction)
         self._setup_done = False
         #: optional repro.traffic PopularityModel; installed by the

@@ -73,8 +73,9 @@ class DhtWorkload(Workload):
         keys_per_bucket: int = 16,
         multi_key_prob: float = 0.5,
         skew: float = 0.0,
+        payload_size: Optional[int] = None,
     ) -> None:
-        super().__init__(read_fraction)
+        super().__init__(read_fraction, payload_size=payload_size)
         if buckets_per_node < 1:
             raise ValueError("need at least 1 bucket per node")
         if skew < 0:

@@ -99,8 +99,9 @@ class LinkedListWorkload(Workload):
         key_space: int = 24,
         initial_fill: float = 0.5,
         lists_per_cluster: int = 1,
+        payload_size: Optional[int] = None,
     ) -> None:
-        super().__init__(read_fraction)
+        super().__init__(read_fraction, payload_size=payload_size)
         if key_space < 2:
             raise ValueError("need key_space >= 2")
         if not 0.0 <= initial_fill <= 1.0:

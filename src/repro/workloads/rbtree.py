@@ -202,8 +202,9 @@ class RbTreeWorkload(Workload):
         read_fraction: float = 0.9,
         key_space: int = 64,
         initial_fill: float = 0.5,
+        payload_size: Optional[int] = None,
     ) -> None:
-        super().__init__(read_fraction)
+        super().__init__(read_fraction, payload_size=payload_size)
         if key_space < 2:
             raise ValueError("need key_space >= 2")
         self.key_space = key_space

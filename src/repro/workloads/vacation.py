@@ -114,8 +114,9 @@ class VacationWorkload(Workload):
         initial_capacity: int = 20,
         think_time: float = 3e-3,
         query_size: int = 4,
+        payload_size: Optional[int] = None,
     ) -> None:
-        super().__init__(read_fraction)
+        super().__init__(read_fraction, payload_size=payload_size)
         self.rows_per_kind_per_node = rows_per_kind_per_node
         self.customers_per_node = customers_per_node
         self.initial_capacity = initial_capacity

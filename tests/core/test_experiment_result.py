@@ -97,6 +97,44 @@ class TestServingExtras:
         assert restored.extra == result.extra
 
 
+#: the extras a payload-plane (repro.rpc.payload) run attaches
+PAYLOAD_EXTRA = {
+    "abandoned": 0,
+    "payload_mode": "proxy",
+    "payload_bytes_on_wire": 195_051_584,
+    "control_bytes_on_wire": 483_072,
+    "grant_bytes_on_wire": 16_448,
+    "payload_fetch_bytes": 195_035_136,
+    "payload_fetches": 186,
+    "payload_cache_hits": 92,
+    "payload_cache_hit_rate": 0.33093525,
+}
+
+
+class TestPayloadExtras:
+    def test_row_rounds_hit_rate_keeps_counters(self):
+        row = make_result(extra=dict(PAYLOAD_EXTRA)).row()
+        assert row["payload_cache_hit_rate"] == 0.3309
+        assert row["payload_bytes_on_wire"] == 195_051_584
+        assert row["payload_mode"] == "proxy"
+        assert row["grant_bytes_on_wire"] == 16_448
+
+    def test_payload_round_trip_is_exact(self):
+        result = make_result(extra=dict(PAYLOAD_EXTRA))
+        restored = ExperimentResult.from_dict(result.to_dict())
+        assert restored == result
+        assert restored.extra["payload_cache_hit_rate"] == 0.33093525
+
+    def test_payload_json_round_trip(self):
+        """Through JSON (the repro.par cache and BENCH_PAYLOAD.json
+        encoding) the byte counters and hit rate survive exactly."""
+        result = make_result(extra=dict(PAYLOAD_EXTRA))
+        data = json.loads(json.dumps(result.to_dict()))
+        restored = ExperimentResult.from_dict(data)
+        assert restored.extra == result.extra
+        assert isinstance(restored.extra["payload_fetches"], int)
+
+
 class TestDictRoundTrip:
     def test_to_dict_from_dict_identity(self):
         result = make_result(extra={"abandoned": 2, "rpc_cache_hits": 7})

@@ -60,7 +60,7 @@ class TestDropAndDuplicate:
         assert pay_a == pay_b == {"x": 1}
         assert injector.duplicated == 1
 
-    def test_duplicate_payload_is_shallow_copied(self, env):
+    def test_duplicate_payload_is_deep_copied(self, env):
         _network, nodes, _plan, _inj = build(env, duplicate_rate=1.0)
         seen = []
         nodes[1].on(
@@ -72,6 +72,31 @@ class TestDropAndDuplicate:
         env.run()
         # Each copy mutates its own dict: both observe 0 -> 1.
         assert seen == [1, 1]
+
+    def test_duplicate_nested_payload_is_not_aliased(self, env):
+        """Regression: _clone used to copy only the top level, so a
+        handler mutating a nested dict/list (hand-off queues, proxy
+        fence maps) corrupted the sibling duplicate in place."""
+        _network, nodes, _plan, _inj = build(env, duplicate_rate=1.0)
+        seen = []
+        nodes[1].on(
+            MessageType.PING,
+            lambda m: (m.payload["inner"].append(len(seen)),
+                       seen.append(list(m.payload["inner"]))),
+        )
+        nodes[0].send(1, MessageType.PING, {"inner": [], "meta": {"v": 0}})
+        env.run()
+        # Each duplicate gets its own nested list: both observe just
+        # their own append, never the sibling's.
+        assert seen == [[0], [1]]
+
+    def test_duplicate_propagates_wire_bytes(self, env):
+        _network, nodes, _plan, _inj = build(env, duplicate_rate=1.0)
+        got = []
+        nodes[1].on(MessageType.PING, lambda m: got.append(m.wire_bytes))
+        nodes[0].send(1, MessageType.PING, {"x": 1}, wire_bytes=4096)
+        env.run()
+        assert got == [4096, 4096]
 
     def test_extra_delay_postpones_delivery(self, env):
         network, nodes, _plan, injector = build(

@@ -149,14 +149,52 @@ class TestSeedLegacyArtifacts:
         # host prose stripped, fingerprint kept
         assert "note" not in rows[0]["host"]
 
+    def test_seed_rows_from_payload_artifact(self):
+        payload = {
+            "table": [
+                {"mode": "eager", "size": 1_024,
+                 "grant_bytes_per_commit": 6_300.0, "hit_rate": 0.0},
+                {"mode": "proxy", "size": 1_024,
+                 "grant_bytes_per_commit": 394.0, "hit_rate": 0.459},
+                {"mode": "proxy", "size": 104_857_600,
+                 "grant_bytes_per_commit": 380.0, "hit_rate": 0.224},
+            ],
+        }
+        rows = seed_rows(payload=payload, git_sha="abc1234",
+                         date="2026-08-08")
+        assert [r["bench"] for r in rows] == ["bench_payload"]
+        metrics = rows[0]["metrics"]
+        assert metrics["grant_bpc_eager_1024"] == 6_300.0
+        assert metrics["grant_bpc_proxy_104857600"] == 380.0
+        assert metrics["hit_rate_proxy_1024"] == 0.459
+        # eager rows contribute no hit-rate metric
+        assert "hit_rate_eager_1024" not in metrics
+        validate_row(rows[0])
+
+    def test_seed_payload_from_checked_in_artifact(self):
+        with open(os.path.join(REPO, "BENCH_PAYLOAD.json")) as fh:
+            payload = json.load(fh)
+        rows = seed_rows(payload=payload, date="2026-08-08")
+        assert len(rows) == 1
+        metrics = rows[0]["metrics"]
+        # the headline: proxy flat, eager linear, across the size axis
+        proxy = sorted(v for k, v in metrics.items()
+                       if k.startswith("grant_bpc_proxy_"))
+        eager = sorted(v for k, v in metrics.items()
+                       if k.startswith("grant_bpc_eager_"))
+        assert proxy and eager
+        assert max(proxy) / min(proxy) < 1.5
+        assert max(eager) / min(eager) > 1_000
+
     def test_checked_in_history_is_valid_and_fresh(self):
         """BENCH_HISTORY.jsonl in the repo root must load, validate and
         match the artifacts it was seeded from."""
         rows = load_history(os.path.join(REPO, "BENCH_HISTORY.jsonl"))
-        assert len(rows) >= 4
+        assert len(rows) >= 5
         kernel = [r for r in rows if r["bench"] == "bench_kernel"]
         ok, _ = check_history(kernel, "bench_kernel", floor=50000)
         assert ok
+        assert any(r["bench"] == "bench_payload" for r in rows)
 
 
 class TestCli:

@@ -16,7 +16,7 @@ fix), re-record the pins in the same commit and say why in its message.
 import pytest
 
 from repro.core import ClusterConfig, SchedulerKind
-from repro.core.config import CheckConfig, ProfConfig, RpcConfig
+from repro.core.config import CheckConfig, PayloadConfig, ProfConfig, RpcConfig
 from repro.core.experiment import run_experiment
 
 # (workload, num_nodes, seed) -> (commits, root_aborts, sim_events)
@@ -26,12 +26,15 @@ PINS = {
 }
 
 
-def run_cell(workload, num_nodes, seed, rpc=None, check=None, prof=None):
+def run_cell(workload, num_nodes, seed, rpc=None, check=None, prof=None,
+             payload=None):
     kwargs = {} if rpc is None else {"rpc": rpc}
     if check is not None:
         kwargs["check"] = check
     if prof is not None:
         kwargs["prof"] = prof
+    if payload is not None:
+        kwargs["payload"] = payload
     cfg = ClusterConfig(
         num_nodes=num_nodes, seed=seed,
         scheduler=SchedulerKind.RTS, cl_threshold=4, **kwargs,
@@ -79,6 +82,18 @@ def test_prof_config_preserves_the_pin(prof):
         assert snap["mode"] == "counters"
     else:
         assert "prof" not in result.extra
+
+
+def test_payload_config_off_preserves_the_pin():
+    """PayloadConfig(enabled=False) — the default, spelled out — builds
+    no plane and no wire-cost model, so the committed timeline is still
+    the pin bit-for-bit and no payload keys leak into extras."""
+    cell = ("dht", 6, 3)
+    result = run_cell(*cell, payload=PayloadConfig(enabled=False))
+    assert (result.commits, result.root_aborts,
+            result.sim_events) == PINS[cell]
+    assert "payload_mode" not in result.extra
+    assert "payload_bytes_on_wire" not in result.extra
 
 
 @pytest.mark.parametrize("sanitize", [False, True], ids=["off", "on"])
