@@ -1,12 +1,14 @@
-"""``python -m repro.check`` — point at the two CLIs."""
+"""``python -m repro.check`` — point at the check CLIs."""
 
 import sys
 
 USAGE = """\
-repro.check has two command-line entry points:
+repro.check has three command-line entry points:
 
   python -m repro.check.lint [paths...]     determinism linter
   python -m repro.check.races RUN.JSONL     trace-replay race detector
+  python -m repro.check.explore [--nodes N --txns K --scheduler rts|tfa]
+                                            bounded interleaving explorer
 
 Rule reference: DESIGN.md §3e, or `python -m repro.check --rules`.
 """

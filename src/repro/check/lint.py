@@ -41,7 +41,7 @@ import sys
 import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.check.rules import LINT_RULES
 
@@ -335,7 +335,9 @@ class _Linter(ast.NodeVisitor):
 
     # -- function/class scaffolding ----------------------------------------
 
-    def _check_defaults(self, node) -> None:
+    def _check_defaults(
+        self, node: Union[ast.FunctionDef, ast.AsyncFunctionDef]
+    ) -> None:
         args = node.args
         for default in list(args.defaults) + [d for d in args.kw_defaults if d]:
             if isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
@@ -347,7 +349,9 @@ class _Linter(ast.NodeVisitor):
                           "mutable default argument; use None (or a "
                           "dataclass field(default_factory=...))")
 
-    def _visit_function(self, node) -> None:
+    def _visit_function(
+        self, node: Union[ast.FunctionDef, ast.AsyncFunctionDef]
+    ) -> None:
         self._check_defaults(node)
         self._scopes.append(_Scope())
         for arg in list(node.args.args) + list(node.args.kwonlyargs):

@@ -11,6 +11,9 @@ Three rule families, one namespace:
   ownership transition when ``CheckConfig.sanitize`` is on.
 * ``race-*`` — **trace-replay rules** (:mod:`repro.check.races`): offline
   happens-before checks over an exported obs JSONL trace.
+* ``mc-*``   — **model-checked properties** (:mod:`repro.check.explore`):
+  per-terminal-state checks the bounded systematic explorer evaluates on
+  every enumerated interleaving of a small configuration.
 
 Each rule names the protocol property it enforces and the paper section
 that property comes from (Kim & Ravindran, IPDPS 2012 unless noted) —
@@ -23,7 +26,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable
 
-__all__ = ["Rule", "RULES", "LINT_RULES", "INVARIANT_RULES", "RACE_RULES", "rule"]
+__all__ = [
+    "Rule",
+    "RULES",
+    "LINT_RULES",
+    "INVARIANT_RULES",
+    "RACE_RULES",
+    "EXPLORE_RULES",
+    "rule",
+]
 
 
 @dataclass(frozen=True)
@@ -170,8 +181,51 @@ RACE_RULES: Dict[str, Rule] = {
     )
 }
 
+EXPLORE_RULES: Dict[str, Rule] = {
+    r.id: r
+    for r in (
+        Rule(
+            "mc-serializable",
+            "every explored terminal state's committed history admits a "
+            "serial order consistent with the version fences",
+            "multiversion serializability: unique fence writers, coherent "
+            "read values, an acyclic precedence graph, and serialization "
+            "instants that embed into it",
+            "§II (TFA opacity/atomicity via global registration)",
+        ),
+        Rule(
+            "mc-lost-wakeup",
+            "every transaction the scheduler enqueued is eventually woken "
+            "by a hand-off, retried, or aborted — no waiter survives "
+            "quiescence",
+            "liveness of the enqueue path: the paper's scheduling_List "
+            "hand-off (plus the backoff-expiry re-request insurance) must "
+            "reach every parked requester under every interleaving",
+            "§III-B (Algorithms 2-4: enqueue / hand-off / re-request)",
+        ),
+        Rule(
+            "mc-bounded-enqueue",
+            "an enqueued requester never waits past the backoff budget the "
+            "scheduler assigned it",
+            "RTS's bounded-enqueue-time guarantee: the wait either wins "
+            "the hand-off or expires within the granted backoff",
+            "§III-B (backoff assignment; Theorem 1's waiting-time bound)",
+        ),
+        Rule(
+            "mc-quiescence",
+            "the schedule runs dry only after every spawned transaction "
+            "reached a terminal outcome (committed or gave up)",
+            "whole-system progress: no interleaving may strand a live "
+            "transaction with no pending event to drive it",
+            "§III (liveness of the scheduled retry loop)",
+        ),
+    )
+}
+
 #: every rule, one namespace — ids are globally unique
-RULES: Dict[str, Rule] = {**LINT_RULES, **INVARIANT_RULES, **RACE_RULES}
+RULES: Dict[str, Rule] = {
+    **LINT_RULES, **INVARIANT_RULES, **RACE_RULES, **EXPLORE_RULES,
+}
 
 
 def rule(rule_id: str) -> Rule:

@@ -27,7 +27,7 @@ construction.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from repro.dstm.contention import DoomRegistry, WinnerPolicy
 from repro.dstm.directory import DirectoryShard
@@ -168,6 +168,13 @@ class TMProxy:
         #: requester-side enqueue outcomes (diagnostics + tests)
         self.enqueue_wins = 0
         self.enqueue_expiries = 0
+        #: enqueue-wait reporting hook (repro.check.explore's
+        #: bounded-enqueue-time property): called once per completed
+        #: hand-off wait with (root txid, oid, budget, waited, won).
+        #: None (the default) keeps the wait path on a one-guard no-op.
+        self.enqueue_observer: Optional[
+            Callable[[str, str, float, float, bool], None]
+        ] = None
         #: how many times an expired waiter re-requests before aborting
         self.rerequest_limit = 8
         #: fault recovery: the last ownership transfer we granted, per
@@ -630,12 +637,21 @@ class TMProxy:
         waiter = self.env.event()
         self._waiters[key] = waiter
         expiry = self.env.timeout(max(backoff, 0.0))
+        started = self.env.now
         outcome = yield (waiter | expiry)
         if waiter in outcome:
+            if self.enqueue_observer is not None:
+                self.enqueue_observer(
+                    root.task_id, oid, backoff, self.env.now - started, True
+                )
             return outcome[waiter]
         # Backoff expired first: deregister (Algorithm 2's
         # TransactionQueue.remove) so a late hand-off forwards onward.
         self._waiters.pop(key, None)
+        if self.enqueue_observer is not None:
+            self.enqueue_observer(
+                root.task_id, oid, backoff, self.env.now - started, False
+            )
         return None
 
     # ------------------------------------------------------------------
@@ -765,6 +781,8 @@ class TMProxy:
             was_duplicate=was_duplicate,
         )
         decision = self.scheduler.on_conflict(ctx)
+        if self.scheduler.decision_observer is not None:
+            self.scheduler.decision_observer(ctx, decision)
         if self.tracer.wants("dstm.conflict"):
             self.tracer.emit(
                 self.env.now, "dstm.conflict", oid,

@@ -74,6 +74,11 @@ class TFAEngine:
         #: observer hooks (set by the metrics layer)
         self.on_commit_hook: Optional[Callable[[Transaction, float], None]] = None
         self.on_abort_hook: Optional[Callable[[Transaction, AbortReason, List[Transaction]], None]] = None
+        #: read/write-set reporting hook (repro.check.explore's
+        #: serializability oracle): called once per committed *root* with
+        #: a record of what it read and installed, at which versions.
+        #: None (the default) keeps commits on a one-guard no-op.
+        self.commit_observer: Optional[Callable[[Dict[str, Any]], None]] = None
         #: runtime invariant sanitizer (repro.check); set by the cluster
         #: when CheckConfig.sanitize is on, else every hook stays a
         #: one-guard no-op
@@ -364,6 +369,8 @@ class TFAEngine:
             if span_on:
                 tracer.emit(self.env.now, "span.phase", txid, phase="validate", edge="E")
             root.serialized_at = validation_started
+            if self.commit_observer is not None:
+                self.commit_observer(self._commit_record(root, {}))
             self._finalize_commit(root)
             if span_on:
                 tracer.emit(self.env.now, "span.phase", txid, phase="commit", edge="E")
@@ -412,7 +419,7 @@ class TFAEngine:
                 procs.append(
                     self.env.process(
                         self._register(home, oid, new_versions[oid], root.txid),
-                        name="register",
+                        name=f"n{self.node.node_id}.register",
                     )
                 )
             answers = yield self.env.all_of(procs)
@@ -497,6 +504,10 @@ class TFAEngine:
             ]
         else:
             to_publish = []
+        if self.commit_observer is not None:
+            # Capture before release: the hand-off may migrate written
+            # objects (and their store entries) away in the same turn.
+            self.commit_observer(self._commit_record(root, new_versions))
         for oid in sorted(root.wset):
             self.proxy.release_object(oid, committed=True)
         for oid, version, value in to_publish:
@@ -572,6 +583,31 @@ class TFAEngine:
             yield from self.proxy.rpc(home, MessageType.DIR_UPDATE, payload)
         except OwnerUnreachable:
             pass  # crashed home: its stale registration heals via reclaim
+
+    def _commit_record(
+        self, root: Transaction, new_versions: Dict[str, int]
+    ) -> Dict[str, Any]:
+        """The committed root's read/write footprint for the oracle.
+
+        ``reads`` are the version anchors the commit validated (nested
+        levels folded in by ``merge_into_parent``); ``writes`` are the
+        versions this commit installed.  Sorted by oid so the record is
+        deterministic regardless of dict insertion order.
+        """
+        return {
+            "txid": root.txid,
+            "task_id": root.task_id,
+            "node": self.node.node_id,
+            "serialized_at": root.serialized_at,
+            "reads": [
+                (oid, root.rset[oid].version, root.rset[oid].value)
+                for oid in sorted(root.rset)
+            ],
+            "writes": [
+                (oid, new_versions[oid], root.wset[oid])
+                for oid in sorted(new_versions)
+            ],
+        }
 
     def _finalize_commit(self, root: Transaction) -> None:
         if self.sanitizer is not None:

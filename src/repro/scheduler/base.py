@@ -18,7 +18,7 @@ from __future__ import annotations
 import abc
 import enum
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.dstm.errors import AbortReason
 from repro.dstm.objects import ObjectMode, VersionedObject
@@ -106,6 +106,13 @@ class SchedulerPolicy(abc.ABC):
     def __init__(self) -> None:
         self.stats_table = TransactionStatsTable()
         self.node_id: Optional[int] = None
+        #: decision reporting hook (repro.check.explore's no-lost-wakeup
+        #: property): the proxy calls it with (ctx, decision) after every
+        #: owner-side conflict resolution.  None (the default) keeps the
+        #: decision path on a one-guard no-op.
+        self.decision_observer: Optional[
+            Callable[["ConflictContext", "ConflictDecision"], None]
+        ] = None
 
     def bind(self, node_id: int) -> None:
         """Attach to a node (called by the proxy during setup)."""

@@ -13,7 +13,7 @@ most importantly tie-breaking and therefore reproducibility — is fully under
 our control: two runs with the same seeds produce byte-identical traces.
 """
 
-from repro.sim.core import Environment, SimulationError
+from repro.sim.core import Environment, ScheduleController, SimulationError
 from repro.sim.events import (
     AllOf,
     AnyOf,
@@ -43,6 +43,7 @@ __all__ = [
     "Process",
     "ProcessDied",
     "RngRegistry",
+    "ScheduleController",
     "SimulationError",
     "Tally",
     "TimeWeighted",

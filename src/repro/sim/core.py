@@ -33,7 +33,7 @@ from repro.sim.events import (
 )
 from repro.sim.process import Process
 
-__all__ = ["Environment", "SimulationError", "EmptySchedule"]
+__all__ = ["Environment", "ScheduleController", "SimulationError", "EmptySchedule"]
 
 
 class SimulationError(RuntimeError):
@@ -44,10 +44,49 @@ class EmptySchedule(SimulationError):
     """Raised by :meth:`Environment.step` when no events remain."""
 
 
+class ScheduleController:
+    """Hook over the kernel's schedule-pop choice points.
+
+    When installed (``env.controller = controller``) the run loop takes a
+    separate copy of itself (:meth:`Environment._run_controlled`) that, at
+    every pop, hands the controller the *ready set* — every pending entry
+    tied at the minimal ``(time, priority)`` — and lets it either
+
+    * **pick** which tied entry to process (``return i``), overriding the
+      sequence-number tie-break, or
+    * **defer** one of them by a positive delay
+      (``return ("defer", i, delta)``), re-enqueueing it at
+      ``when + delta`` with a fresh sequence number — the bounded
+      message-delay jitter the systematic explorer
+      (:mod:`repro.check.explore`) uses to reorder in-flight deliveries.
+
+    The default implementation always returns ``0`` (the seq-minimal
+    entry), which reproduces the uncontrolled schedule exactly; with no
+    controller installed the run loop below is untouched (one
+    ``is not None`` guard), keeping default runs byte-identical.
+    """
+
+    def select(
+        self,
+        env: "Environment",
+        when: float,
+        priority: int,
+        ready: "list[tuple[float, int, int, Event]]",
+        next_time: float,
+    ) -> "int | tuple[str, int, float]":
+        """Choose among ``ready`` (seq-ordered ties at ``(when, priority)``).
+
+        ``next_time`` is the time of the earliest pending entry *behind*
+        the ready set (``inf`` when none), so deferral targets can be
+        computed without touching the heap.
+        """
+        return 0
+
+
 class Environment:
     """A deterministic discrete-event simulation environment."""
 
-    __slots__ = ("_now", "_heap", "_seq", "events_processed", "profiler")
+    __slots__ = ("_now", "_heap", "_seq", "events_processed", "profiler", "controller")
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
@@ -58,6 +97,9 @@ class Environment:
         #: opt-in kernel profiler (:class:`repro.prof.KernelProfiler`);
         #: None keeps run() on the unprofiled fast loop (one guard)
         self.profiler: Optional[Any] = None
+        #: opt-in schedule controller (:class:`ScheduleController`); None
+        #: keeps run() on the uncontrolled fast loop (one guard)
+        self.controller: Optional[ScheduleController] = None
 
     # -- clock ---------------------------------------------------------------
 
@@ -159,6 +201,10 @@ class Environment:
             # Single additive guard: profiled runs take a separate copy
             # of the loop so the unprofiled path below stays untouched.
             return self._run_profiled(until, max_events)
+        if self.controller is not None:
+            # Same additive pattern: controlled (explored) runs take
+            # their own copy of the loop; the fast path stays untouched.
+            return self._run_controlled(until, max_events)
 
         stop_event: Optional[Event] = None
         stop_time = float("inf")
@@ -298,6 +344,107 @@ class Environment:
         finally:
             self.events_processed = processed
             prof.events = prof_events
+
+        if stop_event is not None:
+            if not stop_event.triggered:
+                raise SimulationError(
+                    "run(until=event) exhausted the schedule before the event fired"
+                )
+            if not stop_event.ok:
+                raise stop_event.value
+            return stop_event.value
+        if until is not None and stop_time != float("inf") and self._now < stop_time:
+            self._now = stop_time
+        return None
+
+    def _run_controlled(
+        self,
+        until: Optional[float | Event] = None,
+        max_events: Optional[int] = None,
+    ) -> Any:
+        """The run loop with schedule-controller choice points.
+
+        Semantically :meth:`run` with two extra degrees of freedom at
+        every pop, both exposed through :class:`ScheduleController`:
+        the tie-break among entries at the minimal ``(time, priority)``
+        becomes an explicit choice, and any ready entry may be deferred
+        by a positive delay (a bounded message-delay jitter).  A
+        controller that always returns ``0`` reproduces the uncontrolled
+        schedule event-for-event (pinned in the equivalence tests).
+        """
+        stop_event: Optional[Event] = None
+        stop_time = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise ValueError(f"until={stop_time} is in the past (now={self._now})")
+
+        controller = self.controller
+        assert controller is not None
+        heap = self._heap
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        processed_at_start = self.events_processed
+        processed = self.events_processed
+        try:
+            while heap:
+                if stop_event is not None and stop_event._processed:
+                    break
+                if heap[0][0] > stop_time:
+                    self._now = stop_time
+                    break
+                if (
+                    max_events is not None
+                    and processed - processed_at_start >= max_events
+                ):
+                    raise SimulationError(f"exceeded max_events={max_events}")
+
+                # Gather the ready set: every entry tied at the minimal
+                # (time, priority).  Popping keeps it seq-ordered, so
+                # ready[0] is what the uncontrolled loop would process.
+                ready = [heappop(heap)]
+                when = ready[0][0]
+                prio = ready[0][1]
+                while heap and heap[0][0] == when and heap[0][1] == prio:
+                    ready.append(heappop(heap))
+                next_time = heap[0][0] if heap else float("inf")
+
+                choice = controller.select(self, when, prio, ready, next_time)
+                if isinstance(choice, tuple):
+                    kind, index, delta = choice
+                    if kind != "defer" or not delta > 0.0:
+                        raise SimulationError(
+                            f"controller returned invalid choice {choice!r}"
+                        )
+                    deferred = ready.pop(index)
+                    self._seq += 1
+                    heappush(heap, (when + delta, prio, self._seq, deferred[3]))
+                    for entry in ready:
+                        heappush(heap, entry)
+                    continue
+
+                when, _prio, _seq, event = ready.pop(choice)
+                for entry in ready:
+                    heappush(heap, entry)
+                self._now = when
+                processed += 1
+
+                if event._value is _PENDING:
+                    event._ok = True
+                    event._value = event._fire_value
+
+                callbacks = event.callbacks
+                event.callbacks = None
+                event._processed = True
+                for callback in callbacks:
+                    callback(event)
+
+                if not event._ok and not event._defused:
+                    raise event._value
+        finally:
+            self.events_processed = processed
 
         if stop_event is not None:
             if not stop_event.triggered:

@@ -1,0 +1,99 @@
+"""The serializability oracle (`repro.check.oracle`): a committed
+history either admits a fence-consistent serial order or it names the
+exact way it fails."""
+
+from repro.check.oracle import CommitRecord, check_history
+
+
+def _rec(txid, serialized_at, reads=(), writes=(), node=0):
+    return CommitRecord(
+        txid=txid, node=node, serialized_at=serialized_at,
+        reads=tuple(reads), writes=tuple(writes),
+    )
+
+
+def _kinds(violations):
+    return sorted(v.kind for v in violations)
+
+
+def test_empty_and_single_commit_histories_pass():
+    assert check_history([]) == []
+    one = _rec("t1", 1.0, reads=[("x", 0, 7)], writes=[("x", 1, 8)])
+    assert check_history([one], initial={"x": 7}) == []
+
+
+def test_clean_chain_of_committers_passes():
+    history = [
+        _rec("t1", 1.0, reads=[("x", 0, 0)], writes=[("x", 1, 10)]),
+        _rec("t2", 2.0, reads=[("x", 1, 10)], writes=[("x", 2, 20)]),
+        _rec("t3", 3.0, reads=[("x", 2, 20)], writes=[("x", 3, 30)]),
+    ]
+    assert check_history(history, initial={"x": 0}) == []
+
+
+def test_duplicate_fence_is_flagged():
+    history = [
+        _rec("t1", 1.0, writes=[("x", 1, 10)]),
+        _rec("t2", 2.0, writes=[("x", 1, 11)]),
+    ]
+    assert "duplicate-fence" in _kinds(check_history(history))
+
+
+def test_version_gap_is_a_phantom():
+    history = [_rec("t1", 1.0, writes=[("x", 2, 10)])]
+    assert "phantom-version" in _kinds(check_history(history))
+
+
+def test_read_of_never_committed_version_is_a_phantom():
+    history = [
+        _rec("t1", 1.0, writes=[("x", 1, 10)]),
+        _rec("t2", 2.0, reads=[("x", 3, 99)]),
+    ]
+    assert "phantom-version" in _kinds(check_history(history))
+
+
+def test_stale_read_value_against_the_fence_writer():
+    history = [
+        _rec("t1", 1.0, writes=[("x", 1, 10)]),
+        _rec("t2", 2.0, reads=[("x", 1, 999)]),
+    ]
+    assert "stale-read-value" in _kinds(check_history(history))
+
+
+def test_stale_read_of_the_initial_value():
+    history = [_rec("t1", 1.0, reads=[("x", 0, 42)])]
+    assert "stale-read-value" in _kinds(check_history(history, initial={"x": 0}))
+    # Without a declared initial state, v0 reads are not value-checked.
+    assert check_history(history) == []
+
+
+def test_write_skew_shows_up_as_a_precedence_cycle():
+    # Classic write skew: each transaction reads the version the *other*
+    # one overwrites, so rw anti-dependencies point both ways.
+    history = [
+        _rec("t1", 1.0, reads=[("y", 0, 0)], writes=[("x", 1, 1)]),
+        _rec("t2", 1.0, reads=[("x", 0, 0)], writes=[("y", 1, 1)]),
+    ]
+    assert "precedence-cycle" in _kinds(check_history(history, initial={"x": 0, "y": 0}))
+
+
+def test_fence_order_violation_when_serialization_times_disagree():
+    # t2 reads t1's write but claims an *earlier* serialization instant.
+    history = [
+        _rec("t1", 5.0, writes=[("x", 1, 10)]),
+        _rec("t2", 1.0, reads=[("x", 1, 10)]),
+    ]
+    assert "fence-order" in _kinds(check_history(history))
+
+
+def test_from_dict_round_trip():
+    payload = {
+        "txid": "task-n0-1", "task_id": "task-n0-1", "node": 0,
+        "serialized_at": 1.5,
+        "reads": [("x", 0, 7)], "writes": [("x", 1, 8)],
+    }
+    rec = CommitRecord.from_dict(payload)
+    assert rec.txid == "task-n0-1"
+    assert rec.reads == (("x", 0, 7),)
+    assert rec.writes == (("x", 1, 8),)
+    assert check_history([rec], initial={"x": 7}) == []

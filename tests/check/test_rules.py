@@ -7,6 +7,7 @@ from pathlib import Path
 import pytest
 
 from repro.check.rules import (
+    EXPLORE_RULES,
     INVARIANT_RULES,
     LINT_RULES,
     RACE_RULES,
@@ -19,7 +20,10 @@ _KEBAB = re.compile(r"^[a-z][a-z0-9]*(-[a-z0-9]+)+$")
 
 
 def test_namespace_is_disjoint_union():
-    assert len(RULES) == len(LINT_RULES) + len(INVARIANT_RULES) + len(RACE_RULES)
+    assert len(RULES) == (
+        len(LINT_RULES) + len(INVARIANT_RULES) + len(RACE_RULES)
+        + len(EXPLORE_RULES)
+    )
     assert set(RULES) == set(known_ids())
 
 
@@ -30,6 +34,8 @@ def test_ids_are_kebab_case_with_family_prefix():
         assert rule_id.startswith("inv-") and _KEBAB.match(rule_id)
     for rule_id in RACE_RULES:
         assert rule_id.startswith("race-") and _KEBAB.match(rule_id)
+    for rule_id in EXPLORE_RULES:
+        assert rule_id.startswith("mc-") and _KEBAB.match(rule_id)
 
 
 def test_every_rule_is_fully_documented():

@@ -106,3 +106,59 @@ def test_check_config_preserves_the_pin(sanitize):
     result = run_cell(*cell, check=CheckConfig(sanitize=sanitize))
     assert (result.commits, result.root_aborts,
             result.sim_events) == PINS[cell]
+
+
+def test_default_controller_is_off_and_pin_holds():
+    """The ScheduleController hook defaults to None — the pinned cells
+    above already run without it (one is-not-None guard in run()), and
+    the slot really is unset on a fresh environment."""
+    from repro.core.cluster import Cluster
+
+    assert Cluster(ClusterConfig(num_nodes=2)).env.controller is None
+    # The PINS parametrization is the byte-identity evidence; this cell
+    # re-checks one of them explicitly next to the controller assertion.
+    cell = ("dht", 6, 3)
+    result = run_cell(*cell)
+    assert (result.commits, result.root_aborts,
+            result.sim_events) == PINS[cell]
+
+
+def test_passthrough_controller_is_byte_identical():
+    """A controller that always returns 0 must reproduce the
+    uncontrolled schedule event-for-event — the explorer's soundness
+    rests on the controlled loop being a faithful copy of run()."""
+    import itertools
+
+    from repro.core.cluster import Cluster
+    from repro.dstm.transaction import Transaction
+    from repro.sim import ScheduleController
+
+    def run_once(controller):
+        Transaction._ids = itertools.count(1)
+        cluster = Cluster(ClusterConfig(
+            num_nodes=4, seed=2, scheduler=SchedulerKind.RTS, cl_threshold=4,
+        ))
+        for i in range(3):
+            cluster.alloc(f"o{i}", 0, node=i % 4)
+        results = []
+
+        def body(tx, oid):
+            value = yield from tx.read(oid)
+            yield from tx.compute(0.01)
+            yield from tx.write(oid, value + 1)
+            return value
+
+        def driver(k):
+            yield cluster.env.timeout(0.001 * k)
+            value = yield from cluster.atomic(
+                body, f"o{k % 3}", node=k % 4, profile="eq"
+            )
+            results.append((k, value))
+
+        for k in range(6):
+            cluster.spawn(driver(k), name=f"tx@{k % 4}")
+        cluster.env.controller = controller
+        cluster.env.run()
+        return (cluster.env.events_processed, cluster.env.now, sorted(results))
+
+    assert run_once(ScheduleController()) == run_once(None)

@@ -1,0 +1,121 @@
+"""ScheduleController semantics: pass-through identity, tie picks,
+deferrals, and the invalid-choice contract (`sim/core.py`)."""
+
+import pytest
+
+from repro.sim import Environment, ScheduleController, SimulationError
+
+
+def _three_tied_processes(env, order):
+    """Three processes, all resumed by timeouts firing at t=1.0."""
+
+    def worker(tag):
+        yield env.timeout(1.0)
+        order.append(tag)
+
+    for tag in ("a", "b", "c"):
+        env.process(worker(tag), name=f"w-{tag}")
+
+
+class _Recorder(ScheduleController):
+    """Default choices, recording each ready set's width."""
+
+    def __init__(self):
+        self.widths = []
+
+    def select(self, env, when, priority, ready, next_time):
+        self.widths.append(len(ready))
+        return 0
+
+
+def test_no_controller_attribute_defaults_to_none():
+    assert Environment().controller is None
+
+
+def test_default_controller_reproduces_the_uncontrolled_schedule():
+    baseline = []
+    env = Environment()
+    _three_tied_processes(env, baseline)
+    env.run()
+
+    controlled = []
+    env2 = Environment()
+    _three_tied_processes(env2, controlled)
+    recorder = _Recorder()
+    env2.controller = recorder
+    env2.run()
+
+    assert controlled == baseline == ["a", "b", "c"]
+    assert env2.now == env.now
+    assert env2.events_processed == env.events_processed
+    # The three tied timeouts surfaced as one width-3 ready set.
+    assert max(recorder.widths) == 3
+
+
+def test_tie_pick_overrides_the_seq_order():
+    class PickLastTimeout(ScheduleController):
+        # Default order for the t=0 bootstraps; reverse the t=1 timeouts
+        # (reversing both stages would cancel out).
+        def select(self, env, when, priority, ready, next_time):
+            return len(ready) - 1 if when > 0 else 0
+
+    order = []
+    env = Environment()
+    _three_tied_processes(env, order)
+    env.controller = PickLastTimeout()
+    env.run()
+    assert order == ["c", "b", "a"]
+
+
+def test_defer_repushes_at_when_plus_delta():
+    class DeferFirstOnce(ScheduleController):
+        def __init__(self):
+            self.done = False
+
+        def select(self, env, when, priority, ready, next_time):
+            if not self.done and len(ready) == 3:
+                self.done = True
+                return ("defer", 0, 0.5)
+            return 0
+
+    order = []
+    env = Environment()
+    _three_tied_processes(env, order)
+    env.controller = DeferFirstOnce()
+    env.run()
+    assert order == ["b", "c", "a"]
+    assert env.now == pytest.approx(1.5)
+
+
+def test_invalid_choice_is_a_simulation_error():
+    class Bad(ScheduleController):
+        def select(self, env, when, priority, ready, next_time):
+            return ("defer", 0, -1.0)
+
+    def once(env):
+        yield env.timeout(1.0)
+
+    env = Environment()
+    env.process(once(env))
+    env.controller = Bad()
+    with pytest.raises(SimulationError, match="invalid choice"):
+        env.run()
+
+
+def test_controller_and_ready_set_see_next_time():
+    seen = []
+
+    class Spy(ScheduleController):
+        def select(self, env, when, priority, ready, next_time):
+            seen.append((when, next_time))
+            return 0
+
+    def late(env):
+        yield env.timeout(2.0)
+
+    env = Environment()
+    env.process(late(env), name="late")
+    env.controller = Spy()
+    env.run()
+    # The final pop has nothing behind it.
+    assert seen[-1][1] == float("inf")
