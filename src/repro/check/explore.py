@@ -334,7 +334,7 @@ class _DfsController(ScheduleController):
 
     @staticmethod
     def _heap_touches(env: Environment, node: int) -> bool:
-        for entry in env._heap:
+        for entry in env.pending_entries():
             sites = _sites_of(entry[3])
             if sites is None or node in sites:
                 return True

@@ -75,7 +75,10 @@ def site_of(callback: Callable[..., Any]) -> str:
 class KernelProfiler:
     """Per-event-type / per-site accounting for the kernel run loop."""
 
-    __slots__ = ("wall", "clock", "counts", "wall_ns", "event_counts", "events")
+    __slots__ = (
+        "wall", "clock", "counts", "wall_ns", "event_counts", "events",
+        "batches", "max_batch",
+    )
 
     def __init__(self, wall: bool = False) -> None:
         self.wall = bool(wall)
@@ -88,6 +91,11 @@ class KernelProfiler:
         #: event kind -> processed-event count (callback-free events too)
         self.event_counts: Dict[str, int] = {}
         self.events = 0
+        #: (when, prio) batch drains the run loop performed; events/batches
+        #: is the same-timestamp burstiness of the workload
+        self.batches = 0
+        #: largest single batch (events tied at one (when, prio))
+        self.max_batch = 0
 
     def install(self, env: Any) -> "KernelProfiler":
         """Attach to an :class:`~repro.sim.core.Environment`."""
@@ -117,6 +125,8 @@ class KernelProfiler:
         return {
             "events": self.events,
             "mode": "wall" if self.wall else "counters",
+            "batches": self.batches,
+            "max_batch": self.max_batch,
             "by_event": dict(sorted(self.event_counts.items())),
             "sites": len(self.counts),
             "top": rows,

@@ -1,9 +1,18 @@
 """The event loop: :class:`Environment`.
 
-The environment owns the simulated clock and the pending-event heap.  Heap
-entries are keyed ``(time, priority, sequence)``; the monotonically increasing
-sequence number makes processing order — and therefore every simulation in
-this repository — fully deterministic.
+The environment owns the simulated clock and the pending-event schedule.
+Schedule entries are keyed ``(time, priority, sequence)``; the
+monotonically increasing sequence number makes processing order — and
+therefore every simulation in this repository — fully deterministic.
+
+The schedule lives in a :class:`~repro.sim.calendar.CalendarQueue`
+(time buckets + far-future overflow heap) rather than a global binary
+heap: near-term pushes are amortized O(1) appends and the run loops
+drain every event tied at the current ``(time, priority)`` in one batch,
+which is where the 10–80-node event mix spends its time.  The queue pops
+in exact ``(time, priority, sequence)`` tuple order, so the processed
+event sequence is byte-identical to the old heap build (pinned in
+``tests/rpc/test_equivalence.py`` and ``tests/sim/test_calendar.py``).
 
 Typical use::
 
@@ -20,9 +29,9 @@ Typical use::
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, Generator, Iterable, Optional
+from typing import Any, Generator, Iterable, Iterator, Optional
 
+from repro.sim.calendar import CalendarQueue, Entry
 from repro.sim.events import (
     AllOf,
     AnyOf,
@@ -78,7 +87,7 @@ class ScheduleController:
 
         ``next_time`` is the time of the earliest pending entry *behind*
         the ready set (``inf`` when none), so deferral targets can be
-        computed without touching the heap.
+        computed without touching the schedule.
         """
         return 0
 
@@ -86,11 +95,18 @@ class ScheduleController:
 class Environment:
     """A deterministic discrete-event simulation environment."""
 
-    __slots__ = ("_now", "_heap", "_seq", "events_processed", "profiler", "controller")
+    __slots__ = (
+        "_now", "_queue", "_qpush", "_seq",
+        "events_processed", "profiler", "controller",
+    )
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
-        self._heap: list[tuple[float, int, int, Event]] = []
+        self._queue = CalendarQueue(origin=self._now)
+        # Bound push, pre-resolved for the kernel hot sites (Timeout
+        # construction, Event.succeed/fail, process bootstrap): one
+        # attribute load instead of two on every schedule insert.
+        self._qpush = self._queue.push
         self._seq = 0
         #: number of events processed so far (useful for progress/limits)
         self.events_processed = 0
@@ -142,25 +158,43 @@ class Environment:
             raise SimulationError(f"{event!r} scheduled twice")
         event._scheduled = True
         self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+        self._queue.push((self._now + delay, priority, self._seq, event))
+
+    def pending_entries(self) -> Iterator[Entry]:
+        """Snapshot iterator over the scheduled ``(when, prio, seq, event)``
+        entries (deterministic order, not time-sorted).  Read-only: used
+        by the systematic explorer's independence checks and by tests."""
+        return self._queue.entries()
 
     # -- execution ----------------------------------------------------------------
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` when none remain."""
-        return self._heap[0][0] if self._heap else float("inf")
+        return self._queue.next_time()
+
+    def _pop_next(self) -> Entry:
+        """Pop the globally next schedule entry (the shared pop helper).
+
+        :meth:`step` calls this per event; the run loops inline its
+        batch form (``CalendarQueue._advance`` + pointer walk) over the
+        very same structure, so single-step and batch execution follow
+        one ordering authority (pinned by
+        ``tests/sim/test_calendar.py::test_step_matches_run``).
+        """
+        entry = self._queue.pop()
+        if entry is None:
+            raise EmptySchedule("no events scheduled")
+        return entry
 
     def step(self) -> None:
         """Process exactly one event.
 
-        Raises :class:`EmptySchedule` when the heap is empty, and re-raises
-        the exception of any *failed* event that no process consumed (an
-        uncaught failure anywhere in the simulation should crash the run
-        loudly, never vanish).
+        Raises :class:`EmptySchedule` when the schedule is empty, and
+        re-raises the exception of any *failed* event that no process
+        consumed (an uncaught failure anywhere in the simulation should
+        crash the run loudly, never vanish).
         """
-        if not self._heap:
-            raise EmptySchedule("no events scheduled")
-        when, _prio, _seq, event = heapq.heappop(self._heap)
+        when, _prio, _seq, event = self._pop_next()
         self._now = when
         self.events_processed += 1
 
@@ -190,11 +224,15 @@ class Environment:
         ``None`` (run the schedule dry).  ``max_events`` bounds the number of
         processed events as a runaway guard.
 
-        The loop body is :meth:`step` inlined with the heap, pop function and
-        processed-event counter held in locals — the schedule-pop loop
-        dominates host-side runtime at large node counts, and the inlining
-        roughly halves its per-event overhead (``benchmarks/bench_kernel.py``
-        measures it).  :meth:`step` remains the reference implementation for
+        The loop body is :meth:`step` inlined with the calendar queue's
+        drain cursor held in locals, plus **batch draining**: every event
+        tied at the current ``(time, priority)`` is consumed by one inner
+        walk over the sorted current bucket — same-timestamp delivery
+        bursts pay the outer-loop bookkeeping once, not per event
+        (``benchmarks/bench_kernel.py --workload message-storm`` measures
+        exactly this).  Ties created *during* the batch (zero-delay
+        cascades) insert into the live tail and are swept up by the same
+        walk.  :meth:`step` remains the reference implementation for
         single-step callers; the two must stay semantically identical.
         """
         if self.profiler is not None:
@@ -215,40 +253,75 @@ class Environment:
             if stop_time < self._now:
                 raise ValueError(f"until={stop_time} is in the past (now={self._now})")
 
-        heap = self._heap
-        heappop = heapq.heappop
+        queue = self._queue
+        advance = queue._advance
         processed_at_start = self.events_processed
         processed = self.events_processed
         try:
-            while heap:
+            while advance():
                 if stop_event is not None and stop_event._processed:
                     break
-                if heap[0][0] > stop_time:
+                cur = queue._current
+                cpos = queue._cpos
+                head = cur[cpos]
+                when = head[0]
+                if when > stop_time:
                     self._now = stop_time
                     break
-                if (
-                    max_events is not None
-                    and processed - processed_at_start >= max_events
-                ):
-                    raise SimulationError(f"exceeded max_events={max_events}")
-
-                when, _prio, _seq, event = heappop(heap)
+                prio = head[1]
                 self._now = when
-                processed += 1
+                # Batch-drain the (when, prio) tie class with a bare
+                # pointer walk.  Drain state (queue cursor, processed
+                # count) is synced to the queue only where user code can
+                # observe or escape the loop — before callback dispatch
+                # and at batch end — so the callback-free majority of a
+                # delivery burst pays no bookkeeping stores at all.
+                # `n` bounds indexing, not the batch: ties appended past
+                # it are swept by the next advance() round, and the live
+                # cur[cpos] re-read below keeps a same-time *urgent*
+                # push correctly ordered (it breaks the batch).
+                n = len(cur)
+                if max_events is not None:
+                    allowed = processed_at_start + max_events - processed
+                    if allowed <= 0:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events}"
+                        )
+                    if n - cpos > allowed:
+                        n = cpos + allowed
+                base = cpos
+                while True:
+                    event = cur[cpos][3]
+                    cpos += 1
 
-                if event._value is _PENDING:
-                    # Auto-firing event (Timeout): materialise its value now.
-                    event._ok = True
-                    event._value = event._fire_value
+                    if event._value is _PENDING:
+                        # Auto-firing event (Timeout): materialise its value.
+                        event._ok = True
+                        event._value = event._fire_value
 
-                callbacks = event.callbacks
-                event.callbacks = None
-                event._processed = True
-                for callback in callbacks:
-                    callback(event)
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    event._processed = True
+                    if callbacks:
+                        queue._cpos = cpos
+                        processed += cpos - base
+                        base = cpos
+                        for callback in callbacks:
+                            callback(event)
 
-                if not event._ok and not event._defused:
-                    raise event._value
+                    if not event._ok and not event._defused:
+                        queue._cpos = cpos
+                        processed += cpos - base
+                        raise event._value
+                    if stop_event is not None and stop_event._processed:
+                        break
+                    if cpos < n:
+                        nxt = cur[cpos]
+                        if nxt[0] == when and nxt[1] == prio:
+                            continue
+                    break
+                queue._cpos = cpos
+                processed += cpos - base
         finally:
             self.events_processed = processed
 
@@ -275,8 +348,9 @@ class Environment:
 
         Must stay semantically identical to :meth:`run`: the profiler
         only counts (and, in wall mode, meters host time around)
-        callback dispatches — it never touches the schedule, so the
-        processed event sequence is byte-identical to an unprofiled run.
+        callback dispatches plus batch-drain shape — it never touches
+        the schedule, so the processed event sequence is byte-identical
+        to an unprofiled run.
         """
         from repro.prof.kernel import site_of  # lazy: only profiled runs
 
@@ -294,56 +368,80 @@ class Environment:
         event_counts = prof.event_counts
         wall_ns = prof.wall_ns
         clock = prof.clock
-        heap = self._heap
-        heappop = heapq.heappop
+        queue = self._queue
+        advance = queue._advance
         processed_at_start = self.events_processed
         processed = self.events_processed
         prof_events = prof.events
+        prof_batches = prof.batches
+        prof_max_batch = prof.max_batch
         try:
-            while heap:
+            while advance():
                 if stop_event is not None and stop_event._processed:
                     break
-                if heap[0][0] > stop_time:
+                cur = queue._current
+                cpos = queue._cpos
+                head = cur[cpos]
+                when = head[0]
+                if when > stop_time:
                     self._now = stop_time
                     break
-                if (
-                    max_events is not None
-                    and processed - processed_at_start >= max_events
-                ):
-                    raise SimulationError(f"exceeded max_events={max_events}")
-
-                when, _prio, _seq, event = heappop(heap)
+                prio = head[1]
                 self._now = when
-                processed += 1
-                prof_events += 1
-                kind = type(event).__name__
-                event_counts[kind] = event_counts.get(kind, 0) + 1
+                prof_batches += 1
+                batch_size = 0
+                while True:
+                    if (
+                        max_events is not None
+                        and processed - processed_at_start >= max_events
+                    ):
+                        raise SimulationError(f"exceeded max_events={max_events}")
 
-                if event._value is _PENDING:
-                    event._ok = True
-                    event._value = event._fire_value
+                    event = cur[cpos][3]
+                    cpos += 1
+                    queue._cpos = cpos
+                    processed += 1
+                    prof_events += 1
+                    batch_size += 1
+                    kind = type(event).__name__
+                    event_counts[kind] = event_counts.get(kind, 0) + 1
 
-                callbacks = event.callbacks
-                event.callbacks = None
-                event._processed = True
-                if clock is not None:
-                    for callback in callbacks:
-                        key = (kind, site_of(callback))
-                        counts[key] = counts.get(key, 0) + 1
-                        t0 = clock()
-                        callback(event)
-                        wall_ns[key] = wall_ns.get(key, 0) + clock() - t0
-                else:
-                    for callback in callbacks:
-                        key = (kind, site_of(callback))
-                        counts[key] = counts.get(key, 0) + 1
-                        callback(event)
+                    if event._value is _PENDING:
+                        event._ok = True
+                        event._value = event._fire_value
 
-                if not event._ok and not event._defused:
-                    raise event._value
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    event._processed = True
+                    if clock is not None:
+                        for callback in callbacks:
+                            key = (kind, site_of(callback))
+                            counts[key] = counts.get(key, 0) + 1
+                            t0 = clock()
+                            callback(event)
+                            wall_ns[key] = wall_ns.get(key, 0) + clock() - t0
+                    else:
+                        for callback in callbacks:
+                            key = (kind, site_of(callback))
+                            counts[key] = counts.get(key, 0) + 1
+                            callback(event)
+
+                    if not event._ok and not event._defused:
+                        raise event._value
+                    if stop_event is not None and stop_event._processed:
+                        break
+                    if cpos < len(cur):
+                        nxt = cur[cpos]
+                        if nxt[0] == when and nxt[1] == prio:
+                            continue
+                    break
+                if batch_size > prof_max_batch:
+                    prof_max_batch = batch_size
         finally:
             self.events_processed = processed
             prof.events = prof_events
+            prof.batches = prof_batches
+            prof.max_batch = prof_max_batch
 
         if stop_event is not None:
             if not stop_event.triggered:
@@ -368,9 +466,12 @@ class Environment:
         every pop, both exposed through :class:`ScheduleController`:
         the tie-break among entries at the minimal ``(time, priority)``
         becomes an explicit choice, and any ready entry may be deferred
-        by a positive delay (a bounded message-delay jitter).  A
-        controller that always returns ``0`` reproduces the uncontrolled
-        schedule event-for-event (pinned in the equivalence tests).
+        by a positive delay (a bounded message-delay jitter).  The ready
+        set materialises as one contiguous slice of the calendar queue's
+        sorted current bucket — a bucket scan, not repeated heap pops.
+        A controller that always returns ``0`` reproduces the
+        uncontrolled schedule event-for-event (pinned in the equivalence
+        tests).
         """
         stop_event: Optional[Event] = None
         stop_time = float("inf")
@@ -383,16 +484,19 @@ class Environment:
 
         controller = self.controller
         assert controller is not None
-        heap = self._heap
-        heappop = heapq.heappop
-        heappush = heapq.heappush
+        queue = self._queue
+        advance = queue._advance
         processed_at_start = self.events_processed
         processed = self.events_processed
         try:
-            while heap:
+            while advance():
                 if stop_event is not None and stop_event._processed:
                     break
-                if heap[0][0] > stop_time:
+                cur = queue._current
+                cpos = queue._cpos
+                head = cur[cpos]
+                when = head[0]
+                if when > stop_time:
                     self._now = stop_time
                     break
                 if (
@@ -401,15 +505,22 @@ class Environment:
                 ):
                     raise SimulationError(f"exceeded max_events={max_events}")
 
-                # Gather the ready set: every entry tied at the minimal
-                # (time, priority).  Popping keeps it seq-ordered, so
-                # ready[0] is what the uncontrolled loop would process.
-                ready = [heappop(heap)]
-                when = ready[0][0]
-                prio = ready[0][1]
-                while heap and heap[0][0] == when and heap[0][1] == prio:
-                    ready.append(heappop(heap))
-                next_time = heap[0][0] if heap else float("inf")
+                # Materialise the ready set: the contiguous run of
+                # entries tied at the minimal (time, priority).  The
+                # current bucket is sorted, and a tie class can never
+                # straddle a bucket boundary (equal times share one
+                # bucket) or reach into the far heap, so the slice IS
+                # the complete tie — no repeated pop/push.  It is
+                # detached from the schedule while the controller
+                # deliberates, exactly like the heap build popped it.
+                prio = head[1]
+                j = cpos + 1
+                n = len(cur)
+                while j < n and cur[j][0] == when and cur[j][1] == prio:
+                    j += 1
+                ready = cur[cpos:j]
+                del cur[cpos:j]
+                next_time = queue.next_time()
 
                 choice = controller.select(self, when, prio, ready, next_time)
                 if isinstance(choice, tuple):
@@ -420,14 +531,14 @@ class Environment:
                         )
                     deferred = ready.pop(index)
                     self._seq += 1
-                    heappush(heap, (when + delta, prio, self._seq, deferred[3]))
+                    queue.push((when + delta, prio, self._seq, deferred[3]))
                     for entry in ready:
-                        heappush(heap, entry)
+                        queue.push(entry)
                     continue
 
                 when, _prio, _seq, event = ready.pop(choice)
                 for entry in ready:
-                    heappush(heap, entry)
+                    queue.push(entry)
                 self._now = when
                 processed += 1
 

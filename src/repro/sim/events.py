@@ -15,6 +15,7 @@ number, which makes the simulation fully deterministic.
 
 from __future__ import annotations
 
+from bisect import insort
 from heapq import heappush
 from typing import Any, Callable, Iterable, Optional
 
@@ -108,7 +109,7 @@ class Event:
             env._enqueue(0.0, PRIORITY_NORMAL, self)
         self._scheduled = True
         env._seq += 1
-        heappush(env._heap, (env._now, PRIORITY_NORMAL, env._seq, self))
+        env._qpush((env._now, PRIORITY_NORMAL, env._seq, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -125,7 +126,7 @@ class Event:
             env._enqueue(0.0, PRIORITY_NORMAL, self)
         self._scheduled = True
         env._seq += 1
-        heappush(env._heap, (env._now, PRIORITY_NORMAL, env._seq, self))
+        env._qpush((env._now, PRIORITY_NORMAL, env._seq, self))
         return self
 
     def trigger(self, event: "Event") -> None:
@@ -185,14 +186,52 @@ class Timeout(Event):
     ) -> None:
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
-        super().__init__(env)
+        # Inlined Event.__init__ (one slot-store sequence instead of a
+        # super() call; this constructor runs once per delivery, deadline
+        # and timer).  Must stay field-for-field identical to it.
+        self.env = env
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = True
+        self._processed = False
+        self._defused = True
         self.delay = delay
         self._fire_value = value
-        # Inlined Environment._enqueue: a fresh Timeout cannot already be
-        # scheduled, so the double-scheduling guard is statically satisfied.
+        # Inlined Environment._enqueue *and* CalendarQueue.push: a fresh
+        # Timeout cannot already be scheduled (the double-scheduling
+        # guard is statically satisfied), and timeout construction is the
+        # kernel's hottest scheduling site — every delivery, deadline and
+        # lease timer lands here — so it routes into the calendar
+        # structure directly.  Must stay semantically identical to
+        # CalendarQueue.push.
         self._scheduled = True
         env._seq += 1
-        heappush(env._heap, (env._now + delay, priority, env._seq, self))
+        q = env._queue
+        when = env._now + delay
+        entry = (when, priority, env._seq, self)
+        if when < q._horizon:
+            try:
+                idx = int(when * q._inv_width)
+            except OverflowError:
+                heappush(q._far, entry)
+                return
+            if idx < q._limit:
+                if idx <= q._cursor:
+                    cur = q._current
+                    if not cur or cur[-1] < entry:
+                        cur.append(entry)
+                    else:
+                        insort(cur, entry, q._cpos)
+                else:
+                    bucket = q._buckets.get(idx)
+                    if bucket is None:
+                        q._buckets[idx] = [entry]
+                        heappush(q._idx_heap, idx)
+                    else:
+                        bucket.append(entry)
+                    q._count += 1
+                return
+        heappush(q._far, entry)
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay!r}>"

@@ -19,7 +19,6 @@ paper's Algorithm 2 — is built out of this primitive.
 
 from __future__ import annotations
 
-from heapq import heappush
 from typing import Any, Generator, Optional
 
 from repro.sim.events import Event, PRIORITY_URGENT
@@ -69,7 +68,7 @@ class Process(Event):
         bootstrap.callbacks.append(self._resume)
         bootstrap._scheduled = True
         env._seq += 1
-        heappush(env._heap, (env._now, PRIORITY_URGENT, env._seq, bootstrap))
+        env._qpush((env._now, PRIORITY_URGENT, env._seq, bootstrap))
 
     # -- state -------------------------------------------------------------
 
