@@ -212,10 +212,30 @@ class CalendarQueue:
     # -- removal -----------------------------------------------------------
 
     def head(self) -> Optional[Entry]:
-        """The globally minimal entry without removing it (None if empty)."""
-        if self._advance():
-            return self._current[self._cpos]
-        return None
+        """The globally minimal entry without removing it (None if empty).
+
+        **Pure read** — unlike :meth:`pop` this never adopts buckets,
+        migrates far entries, or retunes, so it is safe to call from
+        event callbacks while a run loop holds the drain cursor in
+        locals (``Environment.peek`` is exactly that call).  The global
+        minimum is the least of three candidates: the current bucket's
+        sorted remnant head, the minimum of the earliest occupied near
+        bucket (the index-heap head; equal timestamps never straddle
+        buckets, so the earliest bucket contains the bucketed minimum),
+        and the far heap's root.
+        """
+        best: Optional[Entry] = None
+        if self._cpos < len(self._current):
+            best = self._current[self._cpos]
+        if self._idx_heap:
+            candidate = min(self._buckets[self._idx_heap[0]])
+            if best is None or candidate < best:
+                best = candidate
+        if self._far:
+            candidate = self._far[0]
+            if best is None or candidate < best:
+                best = candidate
+        return best
 
     def pop(self) -> Optional[Entry]:
         """Remove and return the globally minimal entry (None if empty).
@@ -232,7 +252,10 @@ class CalendarQueue:
         return None
 
     def next_time(self) -> float:
-        """Time of the minimal entry, or ``inf`` when empty."""
+        """Time of the minimal entry, or ``inf`` when empty.
+
+        Pure read, like :meth:`head`.
+        """
         head = self.head()
         return head[0] if head is not None else float("inf")
 
@@ -244,7 +267,12 @@ class CalendarQueue:
         This is the only place buckets are adopted, windows slide, far
         entries migrate in, and retunes run — the run loops re-derive
         their locals after every call, so structural surgery is safe
-        here and nowhere else.
+        here and nowhere else.  In particular the read-only inspectors
+        (:meth:`head`, :meth:`next_time`, :meth:`entries`,
+        :meth:`stats`) must never route through this method: event
+        callbacks call them (via ``Environment.peek``) while a run loop
+        is mid-batch with the drain cursor held in locals, and surgery
+        under their feet would corrupt the deferred cursor write-back.
         """
         if self._cpos < len(self._current):
             return True

@@ -169,7 +169,11 @@ class Environment:
     # -- execution ----------------------------------------------------------------
 
     def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` when none remain."""
+        """Time of the next scheduled event, or ``inf`` when none remain.
+
+        Pure read: safe to call from process/event callbacks while a run
+        loop is mid-batch (the queue's ``next_time`` never restructures).
+        """
         return self._queue.next_time()
 
     def _pop_next(self) -> Entry:

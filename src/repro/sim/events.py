@@ -15,7 +15,6 @@ number, which makes the simulation fully deterministic.
 
 from __future__ import annotations
 
-from bisect import insort
 from heapq import heappush
 from typing import Any, Callable, Iterable, Optional
 
@@ -197,13 +196,18 @@ class Timeout(Event):
         self._defused = True
         self.delay = delay
         self._fire_value = value
-        # Inlined Environment._enqueue *and* CalendarQueue.push: a fresh
-        # Timeout cannot already be scheduled (the double-scheduling
-        # guard is statically satisfied), and timeout construction is the
-        # kernel's hottest scheduling site — every delivery, deadline and
-        # lease timer lands here — so it routes into the calendar
-        # structure directly.  Must stay semantically identical to
-        # CalendarQueue.push.
+        # Inlined Environment._enqueue plus the *future-near-bucket*
+        # fast path of CalendarQueue.push: a fresh Timeout cannot
+        # already be scheduled (the double-scheduling guard is
+        # statically satisfied), and timeout construction is the
+        # kernel's hottest scheduling site — every delivery, deadline
+        # and lease timer lands here, almost always a positive delay
+        # into a future near bucket.  Every other routing case
+        # (current-bucket insert, far overflow, non-finite timestamps)
+        # falls through to CalendarQueue.push so the tricky routing
+        # lives in exactly one place; the boundary-for-boundary
+        # equivalence is pinned in
+        # tests/sim/test_events.py::TestTimeoutPushRouting.
         self._scheduled = True
         env._seq += 1
         q = env._queue
@@ -213,25 +217,18 @@ class Timeout(Event):
             try:
                 idx = int(when * q._inv_width)
             except OverflowError:
-                heappush(q._far, entry)
+                q.push(entry)
                 return
-            if idx < q._limit:
-                if idx <= q._cursor:
-                    cur = q._current
-                    if not cur or cur[-1] < entry:
-                        cur.append(entry)
-                    else:
-                        insort(cur, entry, q._cpos)
+            if q._cursor < idx < q._limit:
+                bucket = q._buckets.get(idx)
+                if bucket is None:
+                    q._buckets[idx] = [entry]
+                    heappush(q._idx_heap, idx)
                 else:
-                    bucket = q._buckets.get(idx)
-                    if bucket is None:
-                        q._buckets[idx] = [entry]
-                        heappush(q._idx_heap, idx)
-                    else:
-                        bucket.append(entry)
-                    q._count += 1
+                    bucket.append(entry)
+                q._count += 1
                 return
-        heappush(q._far, entry)
+        q.push(entry)
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay!r}>"

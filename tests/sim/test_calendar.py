@@ -190,6 +190,42 @@ class TestSelfTuningResize:
         assert queue.resizes > 0
 
 
+class TestPureInspection:
+    """``head()``/``next_time()`` are pure reads (REVIEW regression).
+
+    They used to route through ``_advance()``, which adopts buckets and
+    migrates far entries — so a callback calling ``Environment.peek()``
+    while a run loop was mid-batch could have the freshly adopted
+    bucket's cursor overwritten by the loop's deferred write-back,
+    silently dropping scheduled events.
+    """
+
+    def test_head_matches_pop_without_side_effects(self):
+        rng = random.Random(0xBEEF)
+        whens = [
+            rng.choice([0.0, 0.001, 0.002, 0.05, 5.0, 3600.0])
+            + rng.randrange(4) * 0.0005
+            for _ in range(600)
+        ]
+        probe, control = CalendarQueue(), CalendarQueue()
+        for entry in make_entries(whens):
+            probe.push(entry)
+            control.push(entry)
+        while True:
+            before = probe.stats()
+            head = probe.head()
+            assert probe.head() == head  # idempotent
+            expected_time = head[0] if head is not None else float("inf")
+            assert probe.next_time() == expected_time
+            # No adoption, far migration, or rebuild happened: the
+            # structure snapshot is untouched by the reads above.
+            assert probe.stats() == before
+            got = probe.pop()
+            assert head == got == control.pop()
+            if got is None:
+                return
+
+
 class TestEntriesAndLen:
     def test_len_and_entries_track_mid_drain(self):
         whens = [0.0, 0.0, 0.001, 5.0, 9000.0]

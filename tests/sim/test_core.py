@@ -102,6 +102,29 @@ class TestStepAndPeek:
         env.step()
         assert env.now == 2.5
 
+    def test_peek_inside_callbacks_does_not_perturb_the_run(self):
+        # REVIEW regression: peek() used to restructure the calendar
+        # queue (bucket adoption) under the batch-draining run loop's
+        # locally held cursor, silently dropping the adopted bucket's
+        # events.  A run with processes that peek between yields must be
+        # byte-identical to one without.
+        def worker(env, log, peeking):
+            for i in range(4):
+                yield env.timeout(0.001)
+                if peeking:
+                    env.peek()
+                log.append((round(env.now, 9), i))
+
+        def run(peeking):
+            env = Environment()
+            log = []
+            for node in range(2):
+                env.process(worker(env, log, peeking), name=f"n{node}")
+            env.run()
+            return env.events_processed, env.now, log
+
+        assert run(True) == run(False)
+
     def test_time_never_goes_backwards(self, env):
         times = []
 
